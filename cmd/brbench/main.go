@@ -1,0 +1,151 @@
+// brbench regenerates every table and figure of the paper's evaluation:
+// Table I (dynamic instructions and data references), the §7 cycle
+// estimates and headline ratios, the Figure 5/7 delay tables, the Figure
+// 6/8 pipeline action traces, the Figure 9 prefetch-distance histogram,
+// the §8/§9 instruction-cache study, and the §9 ablations.
+//
+// Usage:
+//
+//	brbench -all
+//	brbench -table1 -cycles -ratios
+//	brbench -fig5 -fig6 -fig7 -fig8 -fig9
+//	brbench -cache -ablate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchreg/internal/cache"
+	"branchreg/internal/driver"
+	"branchreg/internal/exp"
+	"branchreg/internal/pipeline"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	table1 := flag.Bool("table1", false, "Table I: dynamic measurements")
+	cycles := flag.Bool("cycles", false, "section 7 cycle estimates")
+	ratios := flag.Bool("ratios", false, "section 7 headline ratios")
+	fig5 := flag.Bool("fig5", false, "Figure 5: unconditional transfer delays")
+	fig6 := flag.Bool("fig6", false, "Figure 6: BRM unconditional pipeline trace")
+	fig7 := flag.Bool("fig7", false, "Figure 7: conditional transfer delays")
+	fig8 := flag.Bool("fig8", false, "Figure 8: BRM conditional pipeline trace")
+	fig9 := flag.Bool("fig9", false, "Figure 9: prefetch distance histogram")
+	cacheStudy := flag.Bool("cache", false, "sections 8-9 instruction cache study")
+	ablate := flag.Bool("ablate", false, "section 9 ablations")
+	validate := flag.Bool("validate", false, "cycle model vs dynamic pipeline simulation")
+	align := flag.Bool("align", false, "section 9 function-alignment cache study")
+	flag.Parse()
+
+	if *all {
+		*table1, *cycles, *ratios = true, true, true
+		*fig5, *fig6, *fig7, *fig8, *fig9 = true, true, true, true, true
+		*cacheStudy, *ablate, *validate, *align = true, true, true, true
+	}
+	if !(*table1 || *cycles || *ratios || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 ||
+		*cacheStudy || *ablate || *validate || *align) {
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := driver.DefaultOptions()
+	var suite *exp.SuiteResult
+	needSuite := *table1 || *cycles || *ratios || *fig9
+	if needSuite {
+		var err error
+		fmt.Fprintln(os.Stderr, "running the 19-program suite on both machines...")
+		suite, err = exp.RunSuite(opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *table1 {
+		fmt.Println(suite.Table1())
+	}
+	if *cycles {
+		fmt.Println(suite.CycleTable([]int{3, 4, 5}))
+	}
+	if *ratios {
+		fmt.Println(suite.RatiosTable())
+	}
+	if *fig5 {
+		fmt.Println(pipeline.FormatDelayTables(
+			"Figure 5: pipeline delays for unconditional transfers of control",
+			pipeline.Figure5([]int{3, 4, 5})))
+		fmt.Println(pipeline.FormatTrace("Figure 5a trace (no delayed branch, 3 stages)",
+			pipeline.Figure5aTrace()))
+		fmt.Println(pipeline.FormatTrace("Figure 5b trace (delayed branch, 3 stages)",
+			pipeline.Figure5bTrace()))
+	}
+	if *fig6 {
+		fmt.Println(pipeline.FormatTrace(
+			"Figure 6: pipeline actions, BRM unconditional transfer", pipeline.Figure6()))
+	}
+	if *fig7 {
+		fmt.Println(pipeline.FormatDelayTables(
+			"Figure 7: pipeline delays for conditional transfers of control",
+			pipeline.Figure7([]int{3, 4, 5})))
+	}
+	if *fig8 {
+		fmt.Println(pipeline.FormatTrace(
+			"Figure 8: pipeline actions, BRM conditional transfer", pipeline.Figure8()))
+	}
+	if *fig9 {
+		fmt.Printf("Figure 9: the target address must be calculated at least %d instructions\n"+
+			"before the transfer to avoid a pipeline delay (3 stages, 1-cycle cache).\n\n",
+			pipeline.MinCalcDistance(3, 1))
+		fmt.Println(suite.DistanceHistogram())
+	}
+	if *cacheStudy {
+		fmt.Fprintln(os.Stderr, "running the cache study...")
+		cfgs := []cache.Config{
+			{LineWords: 4, Sets: 32, Assoc: 1, MissPenalty: 8},
+			{LineWords: 4, Sets: 16, Assoc: 2, MissPenalty: 8},
+			{LineWords: 8, Sets: 16, Assoc: 1, MissPenalty: 8},
+			{LineWords: 8, Sets: 8, Assoc: 2, MissPenalty: 8},
+			{LineWords: 8, Sets: 32, Assoc: 2, MissPenalty: 8},
+			{LineWords: 16, Sets: 16, Assoc: 2, MissPenalty: 8},
+			{LineWords: 8, Sets: 64, Assoc: 4, MissPenalty: 8},
+		}
+		res, err := exp.RunCacheStudy(opts, cfgs, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.CacheTable(res))
+	}
+	if *ablate {
+		fmt.Fprintln(os.Stderr, "running the ablations...")
+		res, err := exp.RunAblations(exp.Names())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.AblationTable(res))
+	}
+	if *validate {
+		fmt.Fprintln(os.Stderr, "validating the cycle model against the simulation...")
+		for _, stages := range []int{3, 4} {
+			rows, err := exp.RunModelValidation(opts, stages, nil)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(exp.SimTable(rows, stages))
+		}
+	}
+	if *align {
+		fmt.Fprintln(os.Stderr, "running the alignment study...")
+		cfg := cache.Config{LineWords: 8, Sets: 16, Assoc: 2, MissPenalty: 8}
+		rows, err := exp.RunAlignmentStudy(cfg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.AlignTable(rows, cfg))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// bremu compiles and executes an MC program (or a named Appendix I
+// workload) on either machine, printing the program output and the dynamic
+// measurements the paper's ease environment collected.
+//
+// Usage:
+//
+//	bremu [-machine baseline|brm] [-stats] [-in inputfile] file.mc
+//	bremu [-machine baseline|brm] [-stats] -w workloadname
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"branchreg/internal/driver"
+	"branchreg/internal/emu"
+	"branchreg/internal/isa"
+	"branchreg/internal/workloads"
+)
+
+func main() {
+	machine := flag.String("machine", "brm", "target: baseline or brm")
+	stats := flag.Bool("stats", true, "print dynamic statistics")
+	inFile := flag.String("in", "", "file supplying program input (default: stdin if piped)")
+	workload := flag.String("w", "", "run the named Appendix I workload instead of a file")
+	list := flag.Bool("list", false, "list the Appendix I workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-10s %-10s %s\n", w.Name, w.Class, w.Description)
+		}
+		return
+	}
+
+	kind := isa.BranchReg
+	if *machine == "baseline" {
+		kind = isa.Baseline
+	}
+
+	var src, input string
+	switch {
+	case *workload != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q (try: cal cb compact diff grep nroff od sed sort spline tr wc dhrystone matmult puzzle sieve whetstone mincost tinycc)", *workload))
+		}
+		src, input = w.FullSource(), w.Input
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+		if *inFile != "" {
+			ib, err := os.ReadFile(*inFile)
+			if err != nil {
+				fatal(err)
+			}
+			input = string(ib)
+		} else if fi, _ := os.Stdin.Stat(); fi != nil && fi.Mode()&os.ModeCharDevice == 0 {
+			ib, _ := io.ReadAll(os.Stdin)
+			input = string(ib)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: bremu [flags] file.mc | bremu -w workload")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	res, err := driver.Run(src, kind, input, driver.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.WriteString(res.Output)
+	if *stats {
+		printStats(kind, &res.Stats)
+	}
+	os.Exit(int(res.Status))
+}
+
+func printStats(kind isa.Kind, s *emu.Stats) {
+	fmt.Fprintf(os.Stderr, "\n--- %s machine statistics ---\n", kind)
+	fmt.Fprintf(os.Stderr, "instructions executed : %d\n", s.Instructions)
+	fmt.Fprintf(os.Stderr, "data memory references: %d (%d loads, %d stores)\n",
+		s.DataRefs(), s.Loads, s.Stores)
+	fmt.Fprintf(os.Stderr, "transfers of control  : %d (uncond %d, cond %d [taken %d], calls %d, returns %d)\n",
+		s.Transfers(), s.UncondJumps, s.CondBranches, s.CondTaken, s.Calls, s.Returns)
+	fmt.Fprintf(os.Stderr, "noops executed        : %d\n", s.Noops)
+	if kind == isa.BranchReg {
+		fmt.Fprintf(os.Stderr, "target addr calcs     : %d\n", s.BrCalcs)
+		fmt.Fprintf(os.Stderr, "branch reg moves      : %d\n", s.BrMoves)
+		fmt.Fprintf(os.Stderr, "prefetch in time      : %d; late: %d\n", s.PrefetchHit, s.PrefetchMiss)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bremu:", err)
+	os.Exit(1)
+}

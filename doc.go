@@ -1,0 +1,30 @@
+// Package branchreg is a from-scratch reproduction of Davidson & Whalley,
+// "Reducing the Cost of Branches by Using Registers" (ISCA 1990).
+//
+// The paper proposes an architecture in which every instruction names a
+// branch register holding the address of the next instruction to execute;
+// branch target addresses are computed by separate instructions that the
+// compiler hoists out of loops, and each assignment to a branch register
+// prefetches the target instruction into a matching instruction register.
+//
+// This module contains everything needed to rerun the paper's evaluation:
+//
+//   - internal/mc, internal/ir, internal/irgen, internal/opt — an MC (mini
+//     C) compiler front end, three-address IR, and optimizer;
+//   - internal/isa — the two machines' instruction sets, encodings and
+//     linker;
+//   - internal/codegen — shared code generation plus the baseline RISC
+//     (delayed branches) back end;
+//   - internal/core — the branch-register machine back end with the
+//     paper's §5 optimizations (the contribution);
+//   - internal/emu — instruction-level emulators collecting the dynamic
+//     measurements;
+//   - internal/pipeline, internal/cache — the §6-§9 timing and cache
+//     models;
+//   - internal/workloads — the 19 Appendix I benchmark programs in MC;
+//   - internal/exp — the experiment harness regenerating every table and
+//     figure.
+//
+// The bench harness in bench_test.go regenerates each experiment as a Go
+// benchmark; cmd/brbench prints them as tables.
+package branchreg

@@ -1,0 +1,41 @@
+// pipetrace prints the paper's pipeline figures: the delay tables of
+// Figures 5 and 7 and the stage-by-stage action traces of Figures 6 and 8,
+// showing why the branch-register machine transfers control with no bubble
+// on a three-stage pipeline.
+package main
+
+import (
+	"fmt"
+
+	"branchreg/internal/pipeline"
+)
+
+func main() {
+	fmt.Println(pipeline.FormatDelayTables(
+		"Figure 5: pipeline delays for unconditional transfers (cycles per transfer)",
+		pipeline.Figure5([]int{3, 4, 5})))
+
+	fmt.Println(pipeline.FormatTrace(
+		"Figure 5a: conventional machine, no delayed branch",
+		pipeline.Figure5aTrace()))
+
+	fmt.Println(pipeline.FormatTrace(
+		"Figure 5b: baseline machine, one-slot delayed branch",
+		pipeline.Figure5bTrace()))
+
+	fmt.Println(pipeline.FormatTrace(
+		"Figure 6: branch-register machine, unconditional transfer (no bubble)",
+		pipeline.Figure6()))
+
+	fmt.Println(pipeline.FormatDelayTables(
+		"Figure 7: pipeline delays for conditional transfers (cycles per transfer)",
+		pipeline.Figure7([]int{3, 4, 5})))
+
+	fmt.Println(pipeline.FormatTrace(
+		"Figure 8: branch-register machine, conditional transfer (no bubble at 3 stages)",
+		pipeline.Figure8()))
+
+	fmt.Printf("Figure 9: a branch target address must be calculated at least %d\n"+
+		"instructions before its transfer to hide the one-cycle cache access.\n",
+		pipeline.MinCalcDistance(3, 1))
+}

@@ -1,0 +1,3 @@
+module branchreg
+
+go 1.22

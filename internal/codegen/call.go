@@ -1,0 +1,246 @@
+package codegen
+
+import (
+	"fmt"
+
+	"branchreg/internal/ir"
+	"branchreg/internal/isa"
+)
+
+// EmitPrologue emits the frame setup shared by both machines: stack
+// adjustment, callee-saved register saves, and the moves of incoming
+// arguments into their allocated homes. Machine-specific return-address
+// handling is the driver's responsibility (use the named "ra" save slot).
+func (g *Gen) EmitPrologue() {
+	if g.Frame.Size > 0 {
+		g.AddImm(g.M.SPReg, g.M.SPReg, -g.Frame.Size)
+	}
+	for _, r := range g.savedInt {
+		g.Emit(isa.Instr{Op: isa.OpSw, Rd: r, Rs1: g.M.SPReg, UseImm: true,
+			Imm: g.Frame.SaveOff[fmt.Sprintf("r%d", r)], Comment: "save"})
+	}
+	for _, r := range g.savedFloat {
+		g.Emit(isa.Instr{Op: isa.OpSf, Rd: r, Rs1: g.M.SPReg, UseImm: true,
+			Imm: g.Frame.SaveOff[fmt.Sprintf("f%d", r)], Comment: "save"})
+	}
+	g.moveIncomingArgs()
+}
+
+// EmitEpilogueRestores emits callee-saved restores and the stack release.
+// The driver then emits the machine's return transfer.
+func (g *Gen) EmitEpilogueRestores() {
+	for _, r := range g.savedInt {
+		g.Emit(isa.Instr{Op: isa.OpLw, Rd: r, Rs1: g.M.SPReg, UseImm: true,
+			Imm: g.Frame.SaveOff[fmt.Sprintf("r%d", r)], Comment: "restore"})
+	}
+	for _, r := range g.savedFloat {
+		g.Emit(isa.Instr{Op: isa.OpLf, Rd: r, Rs1: g.M.SPReg, UseImm: true,
+			Imm: g.Frame.SaveOff[fmt.Sprintf("f%d", r)], Comment: "restore"})
+	}
+	if g.Frame.Size > 0 {
+		g.AddImm(g.M.SPReg, g.M.SPReg, g.Frame.Size)
+	}
+}
+
+// moveIncomingArgs places register and stack arguments into each
+// parameter's allocated location.
+func (g *Gen) moveIncomingArgs() {
+	ik, fk, ov := 0, 0, 0
+	for _, p := range g.F.Params {
+		if p.Float {
+			loc := g.Alloc.Float[p.R]
+			if fk < g.M.FNumArgs {
+				src := g.M.FArg0 + fk
+				if loc.Spill {
+					g.Emit(isa.Instr{Op: isa.OpSf, Rd: src, Rs1: g.M.SPReg, UseImm: true,
+						Imm: g.Frame.FltSpill + int32(8*loc.Slot)})
+				} else if loc.Reg != src {
+					g.Emit(isa.Instr{Op: isa.OpFmov, Rd: loc.Reg, Rs1: src})
+				}
+			} else {
+				off := g.Frame.Size + int32(8*ov)
+				ov++
+				if loc.Spill {
+					g.Emit(isa.Instr{Op: isa.OpLf, Rd: g.M.FTmpReg, Rs1: g.M.SPReg, UseImm: true, Imm: off})
+					g.Emit(isa.Instr{Op: isa.OpSf, Rd: g.M.FTmpReg, Rs1: g.M.SPReg, UseImm: true,
+						Imm: g.Frame.FltSpill + int32(8*loc.Slot)})
+				} else {
+					g.Emit(isa.Instr{Op: isa.OpLf, Rd: loc.Reg, Rs1: g.M.SPReg, UseImm: true, Imm: off})
+				}
+			}
+			fk++
+			continue
+		}
+		loc := g.Alloc.Int[p.R]
+		if ik < g.M.NumArgs {
+			src := g.M.Arg0 + ik
+			if loc.Spill {
+				g.Emit(isa.Instr{Op: isa.OpSw, Rd: src, Rs1: g.M.SPReg, UseImm: true,
+					Imm: g.Frame.IntSpill + int32(4*loc.Slot)})
+			} else if loc.Reg != src {
+				g.Emit(isa.Instr{Op: isa.OpOr, Rd: loc.Reg, Rs1: src, UseImm: true, Imm: 0})
+			}
+		} else {
+			off := g.Frame.Size + int32(8*ov)
+			ov++
+			if loc.Spill {
+				g.Emit(isa.Instr{Op: isa.OpLw, Rd: g.M.TmpReg, Rs1: g.M.SPReg, UseImm: true, Imm: off})
+				g.Emit(isa.Instr{Op: isa.OpSw, Rd: g.M.TmpReg, Rs1: g.M.SPReg, UseImm: true,
+					Imm: g.Frame.IntSpill + int32(4*loc.Slot)})
+			} else {
+				g.Emit(isa.Instr{Op: isa.OpLw, Rd: loc.Reg, Rs1: g.M.SPReg, UseImm: true, Imm: off})
+			}
+		}
+		ik++
+	}
+}
+
+// EmitCallArgs moves a call's argument values into the argument registers
+// and the stack overflow area.
+func (g *Gen) EmitCallArgs(in *ir.Ins) {
+	ik, fk, ov := 0, 0, 0
+	for _, a := range in.Args {
+		if a.Float {
+			if fk < g.M.FNumArgs {
+				src := g.UseFloat(a.R, 0)
+				dst := g.M.FArg0 + fk
+				if src != dst {
+					g.Emit(isa.Instr{Op: isa.OpFmov, Rd: dst, Rs1: src})
+				}
+			} else {
+				src := g.UseFloat(a.R, 0)
+				g.Emit(isa.Instr{Op: isa.OpSf, Rd: src, Rs1: g.M.SPReg, UseImm: true,
+					Imm: g.Frame.OutArgBase + int32(8*ov)})
+				ov++
+			}
+			fk++
+			continue
+		}
+		if ik < g.M.NumArgs {
+			src := g.UseInt(a.R, 0)
+			dst := g.M.Arg0 + ik
+			if src != dst {
+				g.Emit(isa.Instr{Op: isa.OpOr, Rd: dst, Rs1: src, UseImm: true, Imm: 0})
+			}
+		} else {
+			src := g.UseInt(a.R, 0)
+			g.Emit(isa.Instr{Op: isa.OpSw, Rd: src, Rs1: g.M.SPReg, UseImm: true,
+				Imm: g.Frame.OutArgBase + int32(8*ov)})
+			ov++
+		}
+		ik++
+	}
+}
+
+// EmitCallResult moves the return value into the call's destination.
+func (g *Gen) EmitCallResult(in *ir.Ins) {
+	if in.Dst != ir.None {
+		loc := g.Alloc.Int[in.Dst]
+		if loc.Spill {
+			g.Emit(isa.Instr{Op: isa.OpSw, Rd: g.M.RetReg, Rs1: g.M.SPReg, UseImm: true,
+				Imm: g.Frame.IntSpill + int32(4*loc.Slot)})
+		} else if loc.Reg != g.M.RetReg {
+			g.Emit(isa.Instr{Op: isa.OpOr, Rd: loc.Reg, Rs1: g.M.RetReg, UseImm: true, Imm: 0})
+		}
+	}
+	if in.FDst != ir.None {
+		loc := g.Alloc.Float[in.FDst]
+		if loc.Spill {
+			g.Emit(isa.Instr{Op: isa.OpSf, Rd: g.M.FRetReg, Rs1: g.M.SPReg, UseImm: true,
+				Imm: g.Frame.FltSpill + int32(8*loc.Slot)})
+		} else if loc.Reg != g.M.FRetReg {
+			g.Emit(isa.Instr{Op: isa.OpFmov, Rd: loc.Reg, Rs1: g.M.FRetReg})
+		}
+	}
+}
+
+var trapCodes = map[string]int32{
+	"exit":     isa.TrapExit,
+	"getchar":  isa.TrapGetc,
+	"putchar":  isa.TrapPutc,
+	"putfloat": isa.TrapPutf,
+}
+
+// EmitBuiltin lowers a builtin call to its trap, including argument and
+// result moves (builtins use r1/f1 and preserve all other registers).
+func (g *Gen) EmitBuiltin(in *ir.Ins) error {
+	code, ok := trapCodes[in.Sym]
+	if !ok {
+		return fmt.Errorf("codegen: unknown builtin %s", in.Sym)
+	}
+	for _, a := range in.Args {
+		if a.Float {
+			src := g.UseFloat(a.R, 0)
+			if src != g.M.FArg0 {
+				g.Emit(isa.Instr{Op: isa.OpFmov, Rd: g.M.FArg0, Rs1: src})
+			}
+		} else {
+			src := g.UseInt(a.R, 0)
+			if src != g.M.Arg0 {
+				g.Emit(isa.Instr{Op: isa.OpOr, Rd: g.M.Arg0, Rs1: src, UseImm: true, Imm: 0})
+			}
+		}
+	}
+	g.Emit(isa.Instr{Op: isa.OpTrap, UseImm: true, Imm: code, Comment: in.Sym})
+	g.EmitCallResult(in)
+	return nil
+}
+
+// RetValueMoves places a return value into the return register.
+func (g *Gen) RetValueMoves(t *ir.Ins) {
+	if t.A != ir.None {
+		src := g.UseInt(t.A, 0)
+		if src != g.M.RetReg {
+			g.Emit(isa.Instr{Op: isa.OpOr, Rd: g.M.RetReg, Rs1: src, UseImm: true, Imm: 0})
+		}
+	}
+	if t.FA != ir.None {
+		src := g.UseFloat(t.FA, 0)
+		if src != g.M.FRetReg {
+			g.Emit(isa.Instr{Op: isa.OpFmov, Rd: g.M.FRetReg, Rs1: src})
+		}
+	}
+}
+
+// SwitchPlan is the shared lowering decision for an OpSwitch.
+type SwitchPlan struct {
+	Dense      bool
+	Min, Max   int64
+	TableLabel string
+	Default    string
+	Cases      []ir.SwitchCase
+}
+
+// PlanSwitch decides between a jump table and a compare chain, emitting the
+// jump-table data item when dense. Labels in the table are qualified with
+// the function name so the linker can resolve them globally (paper §4's
+// indirect-jump switch implementation).
+func (g *Gen) PlanSwitch(t *ir.Ins) *SwitchPlan {
+	p := &SwitchPlan{Default: t.Targets[0], Cases: t.Cases}
+	if len(t.Cases) == 0 {
+		return p
+	}
+	p.Min, p.Max = t.Cases[0].Val, t.Cases[0].Val
+	for _, c := range t.Cases {
+		if c.Val < p.Min {
+			p.Min = c.Val
+		}
+		if c.Val > p.Max {
+			p.Max = c.Val
+		}
+	}
+	span := p.Max - p.Min + 1
+	if len(t.Cases) >= 4 && span <= 3*int64(len(t.Cases)) && span <= 1024 {
+		p.Dense = true
+		p.TableLabel = g.NewTableLabel()
+		addrs := make([]string, span)
+		for i := range addrs {
+			addrs[i] = g.F.Name + "." + p.Default
+		}
+		for _, c := range t.Cases {
+			addrs[c.Val-p.Min] = g.F.Name + "." + c.Target
+		}
+		g.Data = append(g.Data, &isa.DataItem{Label: p.TableLabel, Kind: isa.DataAddrs, Addrs: addrs})
+	}
+	return p
+}

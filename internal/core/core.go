@@ -1,0 +1,373 @@
+// Package core implements the paper's contribution: the code generator for
+// the branch-register machine, including the compiler optimizations of
+// paper §5 —
+//
+//   - branch target address calculations as separate instructions,
+//   - frequency-ordered hoisting of those calculations into loop
+//     preheaders (so the cost of branches inside loops disappears),
+//   - branch-register allocation with scope interference and the
+//     scratch/non-scratch distinction across calls,
+//   - replacement of noop transfer carriers with pending target
+//     calculations, and
+//   - early placement of target calculations for prefetch distance
+//     (paper Figure 9).
+package core
+
+import (
+	"sort"
+
+	"branchreg/internal/ir"
+)
+
+// Branch-register roles. b[0] is the PC and b[7] the return-address/trash
+// register (paper §4). b[1] is the local scratch the code generator uses
+// for non-hoisted target calculations; the rest are allocatable.
+const (
+	pcBr      = 0
+	scratchBr = 1
+	raBr      = 7
+)
+
+// Config controls the BRM code generator, primarily for the paper's
+// ablation studies (§9: varying the number of branch registers, and
+// enabling/disabling each optimization).
+type Config struct {
+	// Hoist moves branch target calculations of branches inside loops to
+	// the loop preheaders (§5). Without it every transfer calculates its
+	// target just before use.
+	Hoist bool
+	// ReplaceNoops fills noop transfer carriers with branch target
+	// calculations pending in successor blocks (§5).
+	ReplaceNoops bool
+	// Schedule places local target calculations as early in the block as
+	// dependences allow, to satisfy the two-instruction prefetch distance
+	// (Figure 9). Without it calculations sit immediately before their
+	// transfer.
+	Schedule bool
+	// BranchRegs is the number of implemented branch registers (2..8).
+	// b[0] and b[7] are always reserved; with 8 registers b[1] is scratch,
+	// b[2..3] caller-saved and b[4..6] callee-saved allocatable.
+	BranchRegs int
+	// FastCompare implements the §9 "fast compare" alternative: the
+	// compare tests its condition early enough to update the program
+	// counter directly, so the conditional transfer needs no separate
+	// instruction (the compare itself carries the branch-register field).
+	FastCompare bool
+}
+
+// DefaultConfig enables every optimization with the paper's 8 branch
+// registers.
+var DefaultConfig = Config{Hoist: true, ReplaceNoops: true, Schedule: true, BranchRegs: 8}
+
+// allocatable returns the caller-saved and callee-saved allocatable branch
+// registers under the configuration.
+func (c Config) allocatable() (caller, callee []int) {
+	n := c.BranchRegs
+	if n > 8 {
+		n = 8
+	}
+	// Reserved: b0 (PC), b7 (RA), b1 (scratch). Remaining: b2..b(n-2)
+	// among 2..6, first two caller-saved, rest callee-saved.
+	var avail []int
+	for b := 2; b <= 6 && b <= n-2; b++ {
+		avail = append(avail, b)
+	}
+	for i, b := range avail {
+		if i < 2 {
+			caller = append(caller, b)
+		} else {
+			callee = append(callee, b)
+		}
+	}
+	return caller, callee
+}
+
+// calleeSavedBr reports whether b must be preserved across calls.
+func calleeSavedBr(b int) bool { return b >= 4 && b <= 6 }
+
+// hoistAlloc is one branch target calculation assigned to a branch
+// register and hoisted to a loop preheader.
+type hoistAlloc struct {
+	target string   // code label (block label or function name)
+	isCall bool     // target is a function (two-instruction far calc)
+	breg   int      // assigned branch register
+	loop   *ir.Loop // scope: the calc's value is live throughout this loop
+	place  *ir.Block
+	freq   int64
+}
+
+// covers reports whether the allocation provides target t to block b.
+func (h *hoistAlloc) covers(t string, b *ir.Block) bool {
+	return h.target == t && (h.loop.Blocks[b] || h.place == b)
+}
+
+// scopeBlocks returns the blocks where the allocation's branch register is
+// live (loop body plus the preheader holding the calc).
+func (h *hoistAlloc) scopeBlocks() map[*ir.Block]bool {
+	out := map[*ir.Block]bool{h.place: true}
+	for b := range h.loop.Blocks {
+		out[b] = true
+	}
+	return out
+}
+
+// targetUse is one (transfer, constant target) pair found in the function.
+type targetUse struct {
+	target string
+	isCall bool
+	block  *ir.Block
+}
+
+// collectUses enumerates every constant branch target referenced by the
+// function: jump targets, taken conditional targets, switch range-check
+// defaults, and call targets.
+func collectUses(f *ir.Func) []targetUse {
+	var uses []targetUse
+	for bi, b := range f.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			if in.Kind == ir.OpCall && !in.Builtin {
+				uses = append(uses, targetUse{target: in.Sym, isCall: true, block: b})
+			}
+		}
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		next := ""
+		if bi+1 < len(f.Blocks) {
+			next = f.Blocks[bi+1].Label
+		}
+		switch t.Kind {
+		case ir.OpJump:
+			if t.Targets[0] != next {
+				uses = append(uses, targetUse{target: t.Targets[0], block: b})
+			}
+		case ir.OpBr, ir.OpBrF:
+			taken, other := effCondTargets(t, next)
+			uses = append(uses, targetUse{target: taken, block: b})
+			if other != "" {
+				uses = append(uses, targetUse{target: other, block: b})
+			}
+		case ir.OpSwitch:
+			if len(t.Cases) > 0 {
+				uses = append(uses, targetUse{target: t.Targets[0], block: b})
+			} else if t.Targets[0] != next {
+				uses = append(uses, targetUse{target: t.Targets[0], block: b})
+			}
+		}
+	}
+	return uses
+}
+
+// effCondTargets mirrors the emission decision for a conditional branch:
+// the compare's taken path goes out of line and the other path falls
+// through (or needs an extra unconditional transfer, returned as other).
+func effCondTargets(t *ir.Ins, next string) (taken, other string) {
+	trueL, falseL := t.Targets[0], t.Targets[1]
+	if trueL == next {
+		trueL, falseL = falseL, trueL
+	}
+	if falseL != next {
+		return trueL, falseL
+	}
+	return trueL, ""
+}
+
+// planHoisting implements paper §5: order branch targets by the estimated
+// frequency of the branches to them, move the highest-frequency target
+// calculation to the preheader of the innermost loop containing the
+// branch, allocate a branch register (non-scratch when the loop contains
+// calls), then iteratively try to move each placed calculation further
+// out.
+func planHoisting(f *ir.Func, cfg Config, caller, callee []int) []*hoistAlloc {
+	if !cfg.Hoist {
+		return nil
+	}
+	if len(caller)+len(callee) == 0 {
+		return nil
+	}
+
+	type candidate struct {
+		target string
+		isCall bool
+		loop   *ir.Loop
+		freq   int64
+	}
+	// Group uses by (target, innermost loop of the use block).
+	byKey := map[string]*candidate{}
+	var order []string
+	for _, u := range collectUses(f) {
+		l := u.block.InLoop
+		if l == nil {
+			continue
+		}
+		key := u.target + "@" + l.Header.Label
+		c := byKey[key]
+		if c == nil {
+			c = &candidate{target: u.target, isCall: u.isCall, loop: l}
+			byKey[key] = c
+			order = append(order, key)
+		}
+		c.freq += u.block.Freq
+	}
+	var cands []*candidate
+	for _, k := range order {
+		cands = append(cands, byKey[k])
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].freq > cands[j].freq })
+
+	var allocs []*hoistAlloc
+	scopesOf := map[int][]map[*ir.Block]bool{} // breg -> allocated scopes
+
+	overlaps := func(a, b map[*ir.Block]bool) bool {
+		for blk := range a {
+			if b[blk] {
+				return true
+			}
+		}
+		return false
+	}
+	tryAssign := func(scope map[*ir.Block]bool, hasCall bool) int {
+		var pools [][]int
+		if hasCall {
+			pools = [][]int{callee}
+		} else {
+			pools = [][]int{caller, callee}
+		}
+		for _, pool := range pools {
+			for _, b := range pool {
+				ok := true
+				for _, s := range scopesOf[b] {
+					if overlaps(s, scope) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return b
+				}
+			}
+		}
+		return -1
+	}
+
+	for _, c := range cands {
+		loop := c.loop
+		if loop.Preheader == nil {
+			continue
+		}
+		h := &hoistAlloc{target: c.target, isCall: c.isCall, loop: loop,
+			place: loop.Preheader, freq: c.freq}
+		scope := h.scopeBlocks()
+		// The register must survive every call in its live range — both
+		// calls inside the loop and calls in the preheader holding the
+		// calculation (the calc is placed at the preheader's start).
+		breg := tryAssign(scope, loop.HasCall || blockHasCall(loop.Preheader))
+		if breg < 0 {
+			continue
+		}
+		h.breg = breg
+		scopesOf[breg] = append(scopesOf[breg], scope)
+		allocs = append(allocs, h)
+
+		// Iteratively extend outward: move the calculation to the parent
+		// loop's preheader while the register stays legal (paper §5's
+		// re-estimation step).
+		for {
+			outer := h.place.InLoop
+			if outer == nil || outer.Preheader == nil || outer == h.loop {
+				break
+			}
+			if (outer.HasCall || blockHasCall(outer.Preheader)) && !calleeSavedBr(h.breg) {
+				break
+			}
+			extScope := map[*ir.Block]bool{outer.Preheader: true}
+			for b := range outer.Blocks {
+				extScope[b] = true
+			}
+			// The extended scope must not collide with other allocations
+			// of the same register.
+			ok := true
+			for _, s := range scopesOf[h.breg] {
+				if sameScope(s, h) {
+					continue
+				}
+				if overlaps(s, extScope) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			// Replace the recorded scope.
+			replaceScope(scopesOf, h, extScope)
+			h.loop = outer
+			h.place = outer.Preheader
+			h.freq = outer.Preheader.Freq
+		}
+	}
+	return allocs
+}
+
+// sameScope identifies the scope entry belonging to h (by its preheader).
+func sameScope(s map[*ir.Block]bool, h *hoistAlloc) bool {
+	if !s[h.place] {
+		return false
+	}
+	for b := range h.loop.Blocks {
+		if !s[b] {
+			return false
+		}
+	}
+	return true
+}
+
+func replaceScope(scopesOf map[int][]map[*ir.Block]bool, h *hoistAlloc, ext map[*ir.Block]bool) {
+	ss := scopesOf[h.breg]
+	for i, s := range ss {
+		if sameScope(s, h) {
+			ss[i] = ext
+			return
+		}
+	}
+	scopesOf[h.breg] = append(ss, ext)
+}
+
+// blockHasCall reports whether the block contains a non-builtin call.
+func blockHasCall(b *ir.Block) bool {
+	for i := range b.Ins {
+		if b.Ins[i].Kind == ir.OpCall && !b.Ins[i].Builtin {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupAlloc finds an allocation covering target t at block b.
+func lookupAlloc(allocs []*hoistAlloc, t string, b *ir.Block) *hoistAlloc {
+	for _, h := range allocs {
+		if h.covers(t, b) {
+			return h
+		}
+	}
+	return nil
+}
+
+// usedCalleeBrs returns the callee-saved branch registers used by the
+// allocation plan, in increasing order (they need prologue saves).
+func usedCalleeBrs(allocs []*hoistAlloc) []int {
+	seen := map[int]bool{}
+	for _, h := range allocs {
+		if calleeSavedBr(h.breg) {
+			seen[h.breg] = true
+		}
+	}
+	var out []int
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,106 @@
+// Package driver ties the tool chain together: MC source → front end →
+// IR → optimizer → code generator → linked program for either machine,
+// plus a convenience runner that executes a program under the emulator.
+package driver
+
+import (
+	"fmt"
+
+	"branchreg/internal/codegen"
+	"branchreg/internal/core"
+	"branchreg/internal/emu"
+	"branchreg/internal/ir"
+	"branchreg/internal/irgen"
+	"branchreg/internal/isa"
+	"branchreg/internal/mc"
+	"branchreg/internal/opt"
+)
+
+// Options selects the compilation pipeline's behavior.
+type Options struct {
+	Opt opt.Options // machine-independent optimization passes
+	BRM core.Config // branch-register machine configuration
+	// AlignWords > 1 aligns function entries to that many instruction
+	// words (the paper's §9 cache-line alignment suggestion).
+	AlignWords int
+}
+
+// DefaultOptions enables everything, matching the paper's configuration.
+func DefaultOptions() Options {
+	return Options{Opt: opt.Default, BRM: core.DefaultConfig}
+}
+
+// Lower runs the front end and machine-independent passes.
+func Lower(src string, o Options) (*ir.Unit, error) {
+	u, err := mc.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("front end: %w", err)
+	}
+	iu, err := irgen.Lower(u)
+	if err != nil {
+		return nil, fmt.Errorf("irgen: %w", err)
+	}
+	if err := opt.RunUnit(iu, o.Opt); err != nil {
+		return nil, err
+	}
+	return iu, nil
+}
+
+// Compile compiles MC source for the given machine.
+func Compile(src string, kind isa.Kind, o Options) (*isa.Program, error) {
+	iu, err := Lower(src, o)
+	if err != nil {
+		return nil, err
+	}
+	return CompileIR(iu, kind, o)
+}
+
+// CompileIR generates code for an already-lowered unit.
+func CompileIR(u *ir.Unit, kind isa.Kind, o Options) (*isa.Program, error) {
+	var p *isa.Program
+	var err error
+	if kind == isa.Baseline {
+		p, err = codegen.GenBaseline(u)
+	} else {
+		p, err = core.GenBranchReg(u, o.BRM)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.AlignWords > 1 {
+		p.AlignWords = o.AlignWords
+		if err := p.Link(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Result is the outcome of running a program under the emulator.
+type Result struct {
+	Output string
+	Status int32
+	Stats  emu.Stats
+}
+
+// Run compiles and executes src on the given machine with the given stdin.
+func Run(src string, kind isa.Kind, input string, o Options) (*Result, error) {
+	p, err := Compile(src, kind, o)
+	if err != nil {
+		return nil, err
+	}
+	return RunProgram(p, input)
+}
+
+// RunProgram executes a linked program with the given stdin.
+func RunProgram(p *isa.Program, input string) (*Result, error) {
+	m, err := emu.New(p, input)
+	if err != nil {
+		return nil, err
+	}
+	status, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: m.Output(), Status: status, Stats: m.Stats}, nil
+}

@@ -1,0 +1,338 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"branchreg/internal/core"
+	"branchreg/internal/irexec"
+	"branchreg/internal/isa"
+	"branchreg/internal/opt"
+)
+
+// programs every machine must agree on, differentially tested against the
+// IR reference interpreter.
+var diffPrograms = []struct {
+	name  string
+	src   string
+	input string
+}{
+	{"ret", `int main(void) { return 42; }`, ""},
+	{"arith", `int main(void) { int a = 6, b = 7; return a * b % 100 - (a << 2) / 3; }`, ""},
+	{"loop", `int main(void) { int s = 0; for (int i = 0; i < 50; i++) s += i; return s % 256; }`, ""},
+	{"nested", `
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 10; i++)
+        for (int j = 0; j < 10; j++)
+            if ((i + j) % 3 == 0) s++;
+    return s;
+}`, ""},
+	{"calls", `
+int add(int a, int b) { return a + b; }
+int mul3(int a, int b, int c) { return a * b * c; }
+int main(void) { return add(mul3(2, 3, 4), add(5, 6)) % 128; }`, ""},
+	{"recursion", `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void) { return fib(12) % 256; }`, ""},
+	{"manyargs", `
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+    return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+}
+int main(void) { return sum8(1, 2, 3, 4, 5, 6, 7, 8) % 256; }`, ""},
+	{"globals", `
+int counter;
+int bump(void) { counter += 3; return counter; }
+int main(void) { bump(); bump(); return bump(); }`, ""},
+	{"arrays", `
+int a[20];
+int main(void) {
+    for (int i = 0; i < 20; i++) a[i] = i * 3;
+    int s = 0;
+    for (int i = 0; i < 20; i += 2) s += a[i];
+    return s % 256;
+}`, ""},
+	{"pointers", `
+int data[6] = {9, 8, 7, 6, 5, 4};
+int sum(int *p, int n) { int s = 0; while (n--) s += *p++; return s; }
+int main(void) { return sum(data, 6); }`, ""},
+	{"strings", `
+int main(void) {
+    char *s = "branch registers";
+    int n = 0;
+    for (; *s; s++) if (*s == 'r') n++;
+    return n;
+}`, ""},
+	{"chars", `
+int main(void) {
+    char c = 250;
+    int wrapped = c < 0;
+    c = 'a';
+    c += 2;
+    return wrapped * 100 + c - 'a';
+}`, ""},
+	{"io", `
+int main(void) {
+    int c, n = 0;
+    while ((c = getchar()) != -1) { putchar(c + 1); n++; }
+    return n;
+}`, "abc"},
+	{"switch_dense", `
+int f(int x) {
+    switch (x) {
+    case 0: return 5;
+    case 1: return 6;
+    case 2: return 7;
+    case 3: return 8;
+    case 4: return 9;
+    default: return 1;
+    }
+}
+int main(void) { int s = 0; for (int i = -2; i < 8; i++) s += f(i); return s; }`, ""},
+	{"switch_sparse", `
+int f(int x) {
+    switch (x) {
+    case 10: return 1;
+    case 200: return 2;
+    case 3000: return 3;
+    default: return 9;
+    }
+}
+int main(void) { return f(10) + f(200)*10 + f(3000)*100 + f(7)*1000; }`, ""},
+	{"floats", `
+float poly(float x) { return 1.5 * x * x - 2.0 * x + 0.5; }
+int main(void) {
+    float s = 0.0;
+    for (int i = 0; i < 10; i++) s = s + poly((float)i);
+    return (int)s % 256;
+}`, ""},
+	{"float_cmp", `
+int main(void) {
+    float a = 1.25, b = 2.5;
+    int n = 0;
+    if (a < b) n += 1;
+    if (a + a == b) n += 2;
+    if (b >= 2.5) n += 4;
+    while (a < 10.0) { a = a * 2.0; n++; }
+    return n;
+}`, ""},
+	{"bigframe", `
+int main(void) {
+    int big[600];
+    for (int i = 0; i < 600; i++) big[i] = i;
+    return (big[599] + big[17]) % 256;
+}`, ""},
+	{"spillpressure", `
+int main(void) {
+    int a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8;
+    int i = 9, j = 10, k = 11, l = 12, m = 13, n = 14, o = 15, p = 16;
+    int q = 17, r = 18, s = 19, t = 20;
+    int x = 0;
+    for (int w = 0; w < 10; w++) {
+        x += a + b + c + d + e + f + g + h + i + j;
+        x += k + l + m + n + o + p + q + r + s + t;
+        a++; b++; c++; d++; e++; f++; g++; h++;
+    }
+    return x % 256;
+}`, ""},
+	{"addrtaken", `
+void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+int main(void) {
+    int x = 3, y = 9;
+    swap(&x, &y);
+    return x * 10 + y;
+}`, ""},
+	{"exitpath", `
+int main(void) {
+    for (int i = 0; ; i++)
+        if (i == 7) exit(i);
+    return 0;
+}`, ""},
+	{"breakcont", `
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 100; i++) {
+        if (i % 2) continue;
+        if (i > 20) break;
+        s += i;
+    }
+    return s % 256;
+}`, ""},
+	{"dowhile", `
+int main(void) {
+    int i = 0, s = 0;
+    do { s += i * i; i++; } while (i < 8);
+    return s % 256;
+}`, ""},
+	{"ternary_logic", `
+int main(void) {
+    int r = 0;
+    for (int i = -5; i <= 5; i++)
+        r += (i > 0 && i % 2 == 0) ? i : (i < 0 || i == 3) ? 1 : 0;
+    return r;
+}`, ""},
+	{"floatargs", `
+float mix(float a, float b, float t) { return a + (b - a) * t; }
+int main(void) { return (int)(mix(2.0, 10.0, 0.25) * 10.0); }`, ""},
+}
+
+func TestDifferentialExecution(t *testing.T) {
+	o := DefaultOptions()
+	for _, p := range diffPrograms {
+		t.Run(p.name, func(t *testing.T) {
+			iu, err := Lower(p.src, o)
+			if err != nil {
+				t.Fatalf("lower: %v", err)
+			}
+			refOut, refStatus, err := irexec.RunSource(iu, p.input)
+			if err != nil {
+				t.Fatalf("irexec: %v", err)
+			}
+			for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+				res, err := Run(p.src, kind, p.input, o)
+				if err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				if res.Output != refOut || res.Status != refStatus {
+					t.Errorf("%v diverges: got (%q, %d), reference (%q, %d)",
+						kind, res.Output, res.Status, refOut, refStatus)
+				}
+			}
+		})
+	}
+}
+
+// The same programs must also agree with optimization disabled and with
+// each BRM optimization toggled off (ablation configurations must still be
+// correct).
+func TestDifferentialAblations(t *testing.T) {
+	base := DefaultOptions()
+	variants := map[string]Options{
+		"noopt":      {Opt: opt.None, BRM: base.BRM},
+		"nohoist":    {Opt: base.Opt, BRM: ablate(base.BRM, func(c *coreConfig) { c.Hoist = false })},
+		"noreplace":  {Opt: base.Opt, BRM: ablate(base.BRM, func(c *coreConfig) { c.ReplaceNoops = false })},
+		"nosched":    {Opt: base.Opt, BRM: ablate(base.BRM, func(c *coreConfig) { c.Schedule = false })},
+		"fourbregs":  {Opt: base.Opt, BRM: ablate(base.BRM, func(c *coreConfig) { c.BranchRegs = 4 })},
+		"threebregs": {Opt: base.Opt, BRM: ablate(base.BRM, func(c *coreConfig) { c.BranchRegs = 3 })},
+	}
+	for vname, o := range variants {
+		for _, p := range diffPrograms {
+			t.Run(vname+"/"+p.name, func(t *testing.T) {
+				iu, err := Lower(p.src, o)
+				if err != nil {
+					t.Fatalf("lower: %v", err)
+				}
+				refOut, refStatus, err := irexec.RunSource(iu, p.input)
+				if err != nil {
+					t.Fatalf("irexec: %v", err)
+				}
+				res, err := Run(p.src, isa.BranchReg, p.input, o)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if res.Output != refOut || res.Status != refStatus {
+					t.Errorf("BRM/%s diverges: got (%q, %d), reference (%q, %d)",
+						vname, res.Output, res.Status, refOut, refStatus)
+				}
+			})
+		}
+	}
+}
+
+type coreConfig = core.Config
+
+func ablate(c coreConfig, f func(*coreConfig)) coreConfig {
+	f(&c)
+	return c
+}
+
+func TestBRMSavesInstructions(t *testing.T) {
+	src := `
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 1000; i++)
+        for (int j = 0; j < 10; j++)
+            if (j & 1) s += j; else s -= 1;
+    return s % 256;
+}`
+	o := DefaultOptions()
+	base, err := Run(src, isa.Baseline, "", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brm, err := Run(src, isa.BranchReg, "", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brm.Stats.Instructions >= base.Stats.Instructions {
+		t.Errorf("BRM should execute fewer instructions in loopy code: baseline %d, BRM %d",
+			base.Stats.Instructions, brm.Stats.Instructions)
+	}
+	// Hoisted calcs: target calculations should be far rarer than
+	// transfers (paper reports over 2:1 transfers to calcs).
+	if brm.Stats.BrCalcs*2 > brm.Stats.Transfers()*3 {
+		t.Errorf("too many target calcs: %d calcs vs %d transfers",
+			brm.Stats.BrCalcs, brm.Stats.Transfers())
+	}
+	// Most taken transfers in this loopy program should be prefetched in
+	// time.
+	if brm.Stats.PrefetchHit < brm.Stats.PrefetchMiss {
+		t.Errorf("prefetch distance mostly unsatisfied: hit %d, miss %d",
+			brm.Stats.PrefetchHit, brm.Stats.PrefetchMiss)
+	}
+}
+
+func TestStatsSanity(t *testing.T) {
+	src := `
+int g;
+int work(int n) { g += n; return g; }
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 10; i++) s = work(s + i);
+    return s % 100;
+}`
+	res, err := Run(src, isa.Baseline, "", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Calls != 10 {
+		t.Errorf("calls = %d, want 10", st.Calls)
+	}
+	if st.Returns != 10 {
+		t.Errorf("returns = %d, want 10", st.Returns)
+	}
+	if st.Instructions == 0 || st.DataRefs() == 0 {
+		t.Error("empty stats")
+	}
+	brm, err := Run(src, isa.BranchReg, "", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brm.Stats.Calls != 10 {
+		t.Errorf("BRM calls = %d, want 10", brm.Stats.Calls)
+	}
+}
+
+func TestOutputIdentityOnText(t *testing.T) {
+	src := `
+int main(void) {
+    int c;
+    while ((c = getchar()) != -1) {
+        if (c >= 'a' && c <= 'z') c = c - 'a' + 'A';
+        putchar(c);
+    }
+    return 0;
+}`
+	input := "the Branch Register Machine, 1990!\n"
+	want := strings.ToUpper(input)
+	for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+		res, err := Run(src, kind, input, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output != want {
+			t.Errorf("%v: output = %q, want %q", kind, res.Output, want)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package driver
+
+import (
+	"testing"
+
+	"branchreg/internal/irexec"
+	"branchreg/internal/isa"
+)
+
+// TestFastCompareVariant checks the §9 fast-compare extension: identical
+// behavior with strictly fewer executed instructions on branchy code.
+func TestFastCompareVariant(t *testing.T) {
+	src := `
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 500; i++)
+        if (i % 3 == 0) s += i; else s -= 1;
+    return s & 255;
+}`
+	normal := DefaultOptions()
+	fast := DefaultOptions()
+	fast.BRM.FastCompare = true
+
+	iu, err := Lower(src, normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut, refStatus, err := irexec.RunSource(iu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := Run(src, isa.BranchReg, "", normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Run(src, isa.BranchReg, "", fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Output != refOut || rf.Status != refStatus {
+		t.Fatalf("fast compare diverges: status %d vs %d", rf.Status, refStatus)
+	}
+	if rf.Stats.Instructions >= rn.Stats.Instructions {
+		t.Errorf("fast compare should save instructions: %d vs %d",
+			rf.Stats.Instructions, rn.Stats.Instructions)
+	}
+	if rf.Stats.CondBranches != rn.Stats.CondBranches {
+		t.Errorf("conditional transfer counts differ: %d vs %d",
+			rf.Stats.CondBranches, rn.Stats.CondBranches)
+	}
+}

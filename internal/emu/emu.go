@@ -1,0 +1,410 @@
+// Package emu executes linked programs for both designed machines at
+// instruction level, collecting the dynamic measurements the paper's ease
+// environment gathered: instruction counts, data-memory references,
+// transfers of control by kind, noops, branch-target-address calculations,
+// branch-register save/restore traffic, and prefetch distances (paper §7).
+package emu
+
+import (
+	"fmt"
+	"strings"
+
+	"branchreg/internal/isa"
+)
+
+// DistHistMax caps the prefetch-distance histogram; distances at or above
+// the cap land in the last bucket.
+const DistHistMax = 8
+
+// Stats are the dynamic counts of one run.
+type Stats struct {
+	Instructions int64
+	Loads        int64
+	Stores       int64
+
+	Noops int64
+
+	// Baseline transfer kinds (executed branch instructions, taken or not).
+	UncondJumps  int64 // unconditional branches + indirect jumps (not calls/returns)
+	CondBranches int64
+	CondTaken    int64
+	Calls        int64
+	Returns      int64
+
+	// BRM-specific.
+	BrCalcs      int64 // executed brcalc/brld instructions
+	BrMoves      int64 // executed movbr/movrb/movbr2 (BR save/restore traffic)
+	PrefetchHit  int64 // taken transfers whose target calc was >= MinPrefetchDist earlier
+	PrefetchMiss int64 // taken transfers with a late target calc (pipeline delay)
+	DistHist     [DistHistMax + 1]int64
+}
+
+// DataRefs returns total data-memory references.
+func (s *Stats) DataRefs() int64 { return s.Loads + s.Stores }
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	s.Instructions += other.Instructions
+	s.Loads += other.Loads
+	s.Stores += other.Stores
+	s.Noops += other.Noops
+	s.UncondJumps += other.UncondJumps
+	s.CondBranches += other.CondBranches
+	s.CondTaken += other.CondTaken
+	s.Calls += other.Calls
+	s.Returns += other.Returns
+	s.BrCalcs += other.BrCalcs
+	s.BrMoves += other.BrMoves
+	s.PrefetchHit += other.PrefetchHit
+	s.PrefetchMiss += other.PrefetchMiss
+	for i := range s.DistHist {
+		s.DistHist[i] += other.DistHist[i]
+	}
+}
+
+// Transfers returns the total executed transfers of control.
+func (s *Stats) Transfers() int64 {
+	return s.UncondJumps + s.CondBranches + s.Calls + s.Returns
+}
+
+// MinPrefetchDist is the number of instructions that must separate a branch
+// target address calculation from its transfer to hide the cache access
+// (paper Figure 9).
+const MinPrefetchDist = 2
+
+// TransferKind classifies a dynamic transfer event for the pipeline
+// simulator.
+type TransferKind int
+
+const (
+	TransferUncond TransferKind = iota // jumps, calls, returns, dispatch
+	TransferCond                       // conditional branches (taken or not)
+)
+
+// Hooks observe the run for the cache and pipeline studies.
+type Hooks struct {
+	// Fetch is called with the byte address of every executed instruction.
+	Fetch func(addr int32)
+	// Prefetch is called when a branch-register assignment directs the
+	// instruction cache to prefetch the line containing addr (paper §8).
+	Prefetch func(addr int32)
+	// Exec is called after each instruction with its Text index.
+	Exec func(idx int)
+	// Transfer is called for every executed transfer of control. taken
+	// reports whether control left the sequential path; dist is the
+	// BRM's calc-to-transfer distance in instructions (-1 on the baseline
+	// machine, where targets are never prefetched).
+	Transfer func(kind TransferKind, taken bool, dist int64)
+}
+
+// seq is the branch-register sentinel meaning "fall through" (the untaken
+// path of a compare-with-assignment).
+const seq = int64(-1)
+
+type breg struct {
+	addr     int64 // target byte address or seq
+	calcTime int64 // Stats.Instructions value when the prefetch was issued
+	viaCmp   bool  // written by a compare (the referencing transfer is conditional)
+	isRA     bool  // holds a return address (the b[7] side effect or a restore)
+}
+
+// Machine is an emulator instance.
+type Machine struct {
+	P     *isa.Program
+	Stats Stats
+	Hooks Hooks
+
+	R   [32]int32
+	F   [32]float64
+	B   [8]breg
+	CC  int32 // baseline condition code: sign of (a - b), with 0 = equal
+	ccF bool  // last compare was floating point (informational)
+
+	Mem   []byte
+	input []byte
+	inPos int
+	out   strings.Builder
+
+	halted bool
+	status int32
+
+	pc      int // Text index
+	pending int // delayed-branch target index, -2 when none (baseline)
+
+	funcEntry map[int]bool // Text indices that begin functions
+
+	MaxInstructions int64
+}
+
+// halt target: transferring to byte address 0 ends the program.
+const haltAddr = 0
+
+// New prepares an emulator for a linked program with the given input.
+func New(p *isa.Program, input string) (*Machine, error) {
+	if !p.Linked {
+		return nil, fmt.Errorf("emu: program is not linked")
+	}
+	m := &Machine{
+		P:               p,
+		Mem:             make([]byte, isa.MemBytes),
+		input:           []byte(input),
+		pending:         -2,
+		funcEntry:       map[int]bool{},
+		MaxInstructions: 4_000_000_000,
+	}
+	copy(m.Mem[isa.DataBase:], p.DataImage)
+	for _, idx := range p.FuncStarts {
+		m.funcEntry[idx] = true
+	}
+	spReg := isa.BaseSPReg
+	if p.Kind == isa.BranchReg {
+		spReg = isa.BRMSPReg
+	}
+	m.R[spReg] = isa.StackTop
+	// Return address of main: the halt address.
+	if p.Kind == isa.Baseline {
+		m.R[isa.RABase] = haltAddr
+	} else {
+		m.B[isa.RABr] = breg{addr: haltAddr, calcTime: 0}
+	}
+	m.pc = p.EntryPC
+	return m, nil
+}
+
+// Output returns everything the program wrote.
+func (m *Machine) Output() string { return m.out.String() }
+
+// Status returns the exit status.
+func (m *Machine) Status() int32 { return m.status }
+
+// Run executes until halt, returning the exit status.
+func (m *Machine) Run() (int32, error) {
+	for !m.halted {
+		if err := m.Step(); err != nil {
+			return 0, err
+		}
+		if m.Stats.Instructions > m.MaxInstructions {
+			return 0, fmt.Errorf("emu: instruction limit exceeded in %s", m.where())
+		}
+	}
+	return m.status, nil
+}
+
+func (m *Machine) where() string {
+	if m.pc >= 0 && m.pc < len(m.P.FuncOfPC) {
+		return m.P.FuncOfPC[m.pc]
+	}
+	return "?"
+}
+
+func (m *Machine) errHere(format string, args ...interface{}) error {
+	return fmt.Errorf("emu: %s@%#x: %s", m.where(), uint32(isa.IndexToAddr(m.pc)),
+		fmt.Sprintf(format, args...))
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	if m.pc < 0 || m.pc >= len(m.P.Text) {
+		return fmt.Errorf("emu: pc out of range: %d", m.pc)
+	}
+	in := &m.P.Text[m.pc]
+	addr := isa.IndexToAddr(m.pc)
+	if m.Hooks.Fetch != nil {
+		m.Hooks.Fetch(addr)
+	}
+	m.Stats.Instructions++
+	if m.Hooks.Exec != nil {
+		m.Hooks.Exec(m.pc)
+	}
+
+	var err error
+	if m.P.Kind == isa.Baseline {
+		err = m.stepBaseline(in, addr)
+	} else {
+		err = m.stepBRM(in, addr)
+	}
+	return err
+}
+
+// ---- shared operation execution ----
+
+func (m *Machine) rhs(in *isa.Instr) int32 {
+	if in.UseImm {
+		return in.Imm
+	}
+	return m.R[in.Rs2]
+}
+
+func (m *Machine) setR(r int, v int32) {
+	if r != isa.ZeroReg {
+		m.R[r] = v
+	}
+}
+
+func (m *Machine) loadWord(addr int32) (int32, error) {
+	if addr < 0 || int(addr)+4 > len(m.Mem) {
+		return 0, m.errHere("load out of range: %#x", uint32(addr))
+	}
+	return int32(m.Mem[addr]) | int32(m.Mem[addr+1])<<8 |
+		int32(m.Mem[addr+2])<<16 | int32(m.Mem[addr+3])<<24, nil
+}
+
+func (m *Machine) storeWord(addr, v int32) error {
+	if addr < 0 || int(addr)+4 > len(m.Mem) {
+		return m.errHere("store out of range: %#x", uint32(addr))
+	}
+	m.Mem[addr] = byte(v)
+	m.Mem[addr+1] = byte(v >> 8)
+	m.Mem[addr+2] = byte(v >> 16)
+	m.Mem[addr+3] = byte(v >> 24)
+	return nil
+}
+
+// exec handles every non-control-flow operation common to both machines.
+// It reports whether it handled the op.
+func (m *Machine) exec(in *isa.Instr) (bool, error) {
+	switch in.Op {
+	case isa.OpNop:
+		m.Stats.Noops++
+	case isa.OpAdd:
+		m.setR(in.Rd, m.R[in.Rs1]+m.rhs(in))
+	case isa.OpSub:
+		m.setR(in.Rd, m.R[in.Rs1]-m.rhs(in))
+	case isa.OpMul:
+		m.setR(in.Rd, m.R[in.Rs1]*m.rhs(in))
+	case isa.OpDiv:
+		d := m.rhs(in)
+		if d == 0 {
+			return true, m.errHere("division by zero")
+		}
+		m.setR(in.Rd, m.R[in.Rs1]/d)
+	case isa.OpRem:
+		d := m.rhs(in)
+		if d == 0 {
+			return true, m.errHere("modulo by zero")
+		}
+		m.setR(in.Rd, m.R[in.Rs1]%d)
+	case isa.OpAnd:
+		m.setR(in.Rd, m.R[in.Rs1]&m.rhs(in))
+	case isa.OpOr:
+		m.setR(in.Rd, m.R[in.Rs1]|m.rhs(in))
+	case isa.OpXor:
+		m.setR(in.Rd, m.R[in.Rs1]^m.rhs(in))
+	case isa.OpSll:
+		m.setR(in.Rd, m.R[in.Rs1]<<(uint32(m.rhs(in))&31))
+	case isa.OpSrl:
+		m.setR(in.Rd, int32(uint32(m.R[in.Rs1])>>(uint32(m.rhs(in))&31)))
+	case isa.OpSra:
+		m.setR(in.Rd, m.R[in.Rs1]>>(uint32(m.rhs(in))&31))
+	case isa.OpSethi:
+		m.setR(in.Rd, in.Imm<<12)
+	case isa.OpSet:
+		v := int32(0)
+		if in.Cond.HoldsInt(m.R[in.Rs1], m.rhs(in)) {
+			v = 1
+		}
+		m.setR(in.Rd, v)
+	case isa.OpFSet:
+		v := int32(0)
+		if in.Cond.HoldsFloat(m.F[in.Rs1], m.F[in.Rs2]) {
+			v = 1
+		}
+		m.setR(in.Rd, v)
+	case isa.OpLw:
+		m.Stats.Loads++
+		a := m.R[in.Rs1] + m.rhs(in)
+		v, err := m.loadWord(a)
+		if err != nil {
+			return true, err
+		}
+		m.setR(in.Rd, v)
+	case isa.OpLb:
+		m.Stats.Loads++
+		a := m.R[in.Rs1] + m.rhs(in)
+		if a < 0 || int(a) >= len(m.Mem) {
+			return true, m.errHere("byte load out of range: %#x", uint32(a))
+		}
+		m.setR(in.Rd, int32(int8(m.Mem[a])))
+	case isa.OpSw:
+		m.Stats.Stores++
+		a := m.R[in.Rs1] + m.rhs(in)
+		if err := m.storeWord(a, m.R[in.Rd]); err != nil {
+			return true, err
+		}
+	case isa.OpSb:
+		m.Stats.Stores++
+		a := m.R[in.Rs1] + m.rhs(in)
+		if a < 0 || int(a) >= len(m.Mem) {
+			return true, m.errHere("byte store out of range: %#x", uint32(a))
+		}
+		m.Mem[a] = byte(m.R[in.Rd])
+	case isa.OpLf:
+		m.Stats.Loads++
+		a := m.R[in.Rs1] + m.rhs(in)
+		if a < 0 || int(a)+8 > len(m.Mem) {
+			return true, m.errHere("float load out of range: %#x", uint32(a))
+		}
+		var bits uint64
+		for i := 0; i < 8; i++ {
+			bits |= uint64(m.Mem[a+int32(i)]) << (8 * i)
+		}
+		m.F[in.Rd] = isa.FloatFromBits(bits)
+	case isa.OpSf:
+		m.Stats.Stores++
+		a := m.R[in.Rs1] + m.rhs(in)
+		if a < 0 || int(a)+8 > len(m.Mem) {
+			return true, m.errHere("float store out of range: %#x", uint32(a))
+		}
+		bits := floatBits(m.F[in.Rd])
+		for i := 0; i < 8; i++ {
+			m.Mem[a+int32(i)] = byte(bits >> (8 * i))
+		}
+	case isa.OpFadd:
+		m.F[in.Rd] = m.F[in.Rs1] + m.F[in.Rs2]
+	case isa.OpFsub:
+		m.F[in.Rd] = m.F[in.Rs1] - m.F[in.Rs2]
+	case isa.OpFmul:
+		m.F[in.Rd] = m.F[in.Rs1] * m.F[in.Rs2]
+	case isa.OpFdiv:
+		m.F[in.Rd] = m.F[in.Rs1] / m.F[in.Rs2]
+	case isa.OpFneg:
+		m.F[in.Rd] = -m.F[in.Rs1]
+	case isa.OpFmov:
+		m.F[in.Rd] = m.F[in.Rs1]
+	case isa.OpCvtif:
+		m.F[in.Rd] = float64(m.R[in.Rs1])
+	case isa.OpCvtfi:
+		m.setR(in.Rd, int32(m.F[in.Rs1]))
+	case isa.OpTrap:
+		return true, m.trap(in)
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+func (m *Machine) trap(in *isa.Instr) error {
+	switch in.Imm {
+	case isa.TrapExit:
+		m.halted = true
+		m.status = m.R[1]
+	case isa.TrapGetc:
+		if m.inPos >= len(m.input) {
+			m.R[1] = -1
+		} else {
+			m.R[1] = int32(m.input[m.inPos])
+			m.inPos++
+		}
+	case isa.TrapPutc:
+		m.out.WriteByte(byte(m.R[1]))
+	case isa.TrapPutf:
+		fmt.Fprintf(&m.out, "%.4f", m.F[1])
+	default:
+		return m.errHere("unknown trap %d", in.Imm)
+	}
+	return nil
+}
+
+func floatBits(f float64) uint64 {
+	return isa.FloatBits(f)
+}

@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"branchreg/internal/cache"
+	"branchreg/internal/driver"
+	"branchreg/internal/emu"
+	"branchreg/internal/isa"
+	"branchreg/internal/pipeline"
+	"branchreg/internal/workloads"
+)
+
+// SimRow compares the paper's aggregate cycle model against the dynamic
+// per-event pipeline simulation for one workload.
+type SimRow struct {
+	Name          string
+	Kind          isa.Kind
+	ModelCycles   int64
+	SimCycles     int64
+	OverchargePct float64
+}
+
+// RunModelValidation runs the analytic model and the dynamic simulation
+// side by side. The paper's model charges every executed transfer on the
+// baseline machine (taken or not); the simulation charges only taken ones,
+// quantifying the model's overstatement.
+func RunModelValidation(o driver.Options, stages int, names []string) ([]SimRow, error) {
+	if names == nil {
+		names = []string{"wc", "grep", "matmult", "dhrystone", "sieve"}
+	}
+	var out []SimRow
+	for _, name := range names {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown workload %s", name)
+		}
+		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+			p, err := driver.Compile(w.FullSource(), kind, o)
+			if err != nil {
+				return nil, err
+			}
+			cmp, err := pipeline.CompareModel(p, w.Input, stages)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SimRow{Name: name, Kind: kind,
+				ModelCycles: cmp.ModelCycles, SimCycles: cmp.SimCycles,
+				OverchargePct: cmp.OverchargePct})
+		}
+	}
+	return out, nil
+}
+
+// SimTable renders the model-vs-simulation comparison.
+func SimTable(rows []SimRow, stages int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cycle model validation (%d stages): the paper's aggregate model vs. a\n", stages)
+	fmt.Fprintf(&b, "per-event pipeline simulation (untaken baseline branches cost nothing)\n")
+	fmt.Fprintf(&b, "%-12s %-10s %14s %14s %12s\n", "program", "machine", "model cycles", "sim cycles", "model excess")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-10s %14d %14d %11.2f%%\n",
+			r.Name, r.Kind, r.ModelCycles, r.SimCycles, r.OverchargePct)
+	}
+	return b.String()
+}
+
+// AlignRow measures the §9 function-alignment suggestion on the cache.
+type AlignRow struct {
+	AlignWords  int
+	DelayCycles int64
+	Misses      int64
+}
+
+// RunAlignmentStudy measures instruction-fetch delays on a small cache
+// with function entries unaligned versus aligned to cache lines (§9: "the
+// beginning of the function could be aligned on a cache line boundary").
+func RunAlignmentStudy(cfg cache.Config, names []string) ([]AlignRow, error) {
+	if names == nil {
+		names = []string{"dhrystone", "grep", "tinycc"}
+	}
+	var out []AlignRow
+	for _, align := range []int{0, cfg.LineWords} {
+		o := driver.DefaultOptions()
+		o.AlignWords = align
+		var total cache.Stats
+		for _, name := range names {
+			w, ok := workloads.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("exp: unknown workload %s", name)
+			}
+			p, err := driver.Compile(w.FullSource(), isa.BranchReg, o)
+			if err != nil {
+				return nil, err
+			}
+			m, err := emu.New(p, w.Input)
+			if err != nil {
+				return nil, err
+			}
+			ic := cache.New(cfg)
+			m.Hooks.Fetch = func(addr int32) { ic.Fetch(addr) }
+			m.Hooks.Prefetch = func(addr int32) { ic.Prefetch(addr) }
+			if _, err := m.Run(); err != nil {
+				return nil, err
+			}
+			ic.Flush()
+			addCache(&total, &ic.Stats)
+		}
+		out = append(out, AlignRow{AlignWords: align,
+			DelayCycles: total.DelayCycles,
+			Misses:      total.Misses + total.PartialWaits})
+	}
+	return out, nil
+}
+
+// AlignTable renders the alignment study.
+func AlignTable(rows []AlignRow, cfg cache.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Function-entry alignment study (section 9) on %s\n", cfg)
+	fmt.Fprintf(&b, "%-22s %14s %12s\n", "layout", "fetch delays", "miss+wait")
+	for _, r := range rows {
+		name := "unaligned"
+		if r.AlignWords > 1 {
+			name = fmt.Sprintf("aligned to %d words", r.AlignWords)
+		}
+		fmt.Fprintf(&b, "%-22s %14d %12d\n", name, r.DelayCycles, r.Misses)
+	}
+	return b.String()
+}

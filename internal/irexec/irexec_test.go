@@ -1,0 +1,282 @@
+package irexec
+
+import (
+	"strings"
+	"testing"
+
+	"branchreg/internal/ir"
+)
+
+// tiny hand-built unit: main calls add(2,3) and returns the result.
+func buildUnit() *ir.Unit {
+	add := ir.NewFunc("add")
+	x := add.NewIntReg()
+	y := add.NewIntReg()
+	z := add.NewIntReg()
+	add.Params = []ir.Arg{{R: x}, {R: y}}
+	ab := add.NewBlock("entry")
+	ab.Ins = append(ab.Ins,
+		ir.Ins{Kind: ir.OpAdd, Dst: z, A: x, B: y},
+		ir.Ins{Kind: ir.OpRet, A: z, FA: ir.None})
+
+	main := ir.NewFunc("main")
+	a := main.NewIntReg()
+	b := main.NewIntReg()
+	r := main.NewIntReg()
+	mb := main.NewBlock("entry")
+	mb.Ins = append(mb.Ins,
+		ir.Ins{Kind: ir.OpConst, Dst: a, Imm: 2},
+		ir.Ins{Kind: ir.OpConst, Dst: b, Imm: 3},
+		ir.Ins{Kind: ir.OpCall, Sym: "add", Dst: r, FDst: ir.None,
+			Args: []ir.Arg{{R: a}, {R: b}}},
+		ir.Ins{Kind: ir.OpRet, A: r, FA: ir.None})
+	return &ir.Unit{Funcs: []*ir.Func{add, main}}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	out, status, err := RunSource(buildUnit(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 5 || out != "" {
+		t.Errorf("status = %d out = %q", status, out)
+	}
+}
+
+func TestMissingMain(t *testing.T) {
+	u := &ir.Unit{Funcs: []*ir.Func{ir.NewFunc("notmain")}}
+	if _, _, err := RunSource(u, ""); err == nil {
+		t.Error("missing main accepted")
+	}
+}
+
+func TestDivByZeroReported(t *testing.T) {
+	f := ir.NewFunc("main")
+	a := f.NewIntReg()
+	d := f.NewIntReg()
+	b := f.NewBlock("entry")
+	b.Ins = append(b.Ins,
+		ir.Ins{Kind: ir.OpConst, Dst: a, Imm: 1},
+		ir.Ins{Kind: ir.OpDiv, Dst: d, A: a, UseImm: true, Imm: 0},
+		ir.Ins{Kind: ir.OpRet, A: d, FA: ir.None})
+	_, _, err := RunSource(&ir.Unit{Funcs: []*ir.Func{f}}, "")
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMemoryBoundsChecked(t *testing.T) {
+	f := ir.NewFunc("main")
+	a := f.NewIntReg()
+	d := f.NewIntReg()
+	b := f.NewBlock("entry")
+	b.Ins = append(b.Ins,
+		ir.Ins{Kind: ir.OpConst, Dst: a, Imm: 16}, // below the data base
+		ir.Ins{Kind: ir.OpLoad, Dst: d, A: a, Size: 4},
+		ir.Ins{Kind: ir.OpRet, A: d, FA: ir.None})
+	_, _, err := RunSource(&ir.Unit{Funcs: []*ir.Func{f}}, "")
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDataLayoutAndRelocs(t *testing.T) {
+	f := ir.NewFunc("main")
+	p := f.NewIntReg()
+	q := f.NewIntReg()
+	v := f.NewIntReg()
+	b := f.NewBlock("entry")
+	b.Ins = append(b.Ins,
+		// load the pointer stored in "ptr" (reloc to "msg"), then the
+		// first byte it points at
+		ir.Ins{Kind: ir.OpAddr, Dst: p, Sym: "ptr"},
+		ir.Ins{Kind: ir.OpLoad, Dst: q, A: p, Size: 4},
+		ir.Ins{Kind: ir.OpLoad, Dst: v, A: q, Size: 1},
+		ir.Ins{Kind: ir.OpRet, A: v, FA: ir.None})
+	u := &ir.Unit{
+		Funcs: []*ir.Func{f},
+		Data: []ir.Datum{
+			{Label: "msg", Kind: ir.DBytes, Bytes: []byte("Z")},
+			{Label: "ptr", Kind: ir.DWords, Words: []int32{0},
+				Relocs: []ir.Reloc{{WordIndex: 0, Sym: "msg"}}},
+		},
+	}
+	_, status, err := RunSource(u, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 'Z' {
+		t.Errorf("status = %d, want %d", status, 'Z')
+	}
+}
+
+func TestBuiltinsAndSteps(t *testing.T) {
+	f := ir.NewFunc("main")
+	c := f.NewIntReg()
+	b := f.NewBlock("entry")
+	b.Ins = append(b.Ins,
+		ir.Ins{Kind: ir.OpCall, Sym: "getchar", Dst: c, FDst: ir.None, Builtin: true},
+		ir.Ins{Kind: ir.OpCall, Sym: "putchar", Dst: ir.None, FDst: ir.None, Builtin: true,
+			Args: []ir.Arg{{R: c}}},
+		ir.Ins{Kind: ir.OpRet, A: c, FA: ir.None})
+	m, err := New(&ir.Unit{Funcs: []*ir.Func{f}}, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Output() != "Q" || status != 'Q' {
+		t.Errorf("out %q status %d", m.Output(), status)
+	}
+	if m.Steps() == 0 {
+		t.Error("step counter not advancing")
+	}
+}
+
+func TestExitStatusPropagates(t *testing.T) {
+	f := ir.NewFunc("main")
+	v := f.NewIntReg()
+	b := f.NewBlock("entry")
+	b.Ins = append(b.Ins,
+		ir.Ins{Kind: ir.OpConst, Dst: v, Imm: 33},
+		ir.Ins{Kind: ir.OpCall, Sym: "exit", Dst: ir.None, FDst: ir.None, Builtin: true,
+			Args: []ir.Arg{{R: v}}},
+		ir.Ins{Kind: ir.OpRet, A: ir.None, FA: ir.None})
+	_, status, err := RunSource(&ir.Unit{Funcs: []*ir.Func{f}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 33 {
+		t.Errorf("status = %d", status)
+	}
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	f := ir.NewFunc("main")
+	v := f.NewIntReg()
+	r := f.NewIntReg()
+	b := f.NewBlock("entry")
+	b.Ins = append(b.Ins,
+		ir.Ins{Kind: ir.OpConst, Dst: v, Imm: 2},
+		ir.Ins{Kind: ir.OpSwitch, A: v,
+			Cases:   []ir.SwitchCase{{Val: 1, Target: "one"}, {Val: 2, Target: "two"}},
+			Targets: []string{"def"}})
+	one := f.NewBlock("one")
+	one.Ins = append(one.Ins,
+		ir.Ins{Kind: ir.OpConst, Dst: r, Imm: 10},
+		ir.Ins{Kind: ir.OpRet, A: r, FA: ir.None})
+	two := f.NewBlock("two")
+	two.Ins = append(two.Ins,
+		ir.Ins{Kind: ir.OpConst, Dst: r, Imm: 20},
+		ir.Ins{Kind: ir.OpRet, A: r, FA: ir.None})
+	def := f.NewBlock("def")
+	def.Ins = append(def.Ins,
+		ir.Ins{Kind: ir.OpConst, Dst: r, Imm: 30},
+		ir.Ins{Kind: ir.OpRet, A: r, FA: ir.None})
+	_, status, err := RunSource(&ir.Unit{Funcs: []*ir.Func{f}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 20 {
+		t.Errorf("status = %d, want 20", status)
+	}
+}
+
+func TestFloatOpsAndBranches(t *testing.T) {
+	f := ir.NewFunc("main")
+	f.RetFloat = false
+	f.HasRet = true
+	a := f.NewFloatReg()
+	bb := f.NewFloatReg()
+	c := f.NewFloatReg()
+	r := f.NewIntReg()
+	e := f.NewBlock("entry")
+	e.Ins = append(e.Ins,
+		ir.Ins{Kind: ir.OpConstF, FDst: a, FImm: 3.5},
+		ir.Ins{Kind: ir.OpConstF, FDst: bb, FImm: 1.25},
+		ir.Ins{Kind: ir.OpFMul, FDst: c, FA: a, FB: bb}, // 4.375
+		ir.Ins{Kind: ir.OpFSub, FDst: c, FA: c, FB: bb}, // 3.125
+		ir.Ins{Kind: ir.OpFDiv, FDst: c, FA: c, FB: bb}, // 2.5
+		ir.Ins{Kind: ir.OpFNeg, FDst: c, FA: c},         // -2.5
+		ir.Ins{Kind: ir.OpFAdd, FDst: c, FA: c, FB: a},  // 1.0
+		ir.Ins{Kind: ir.OpBrF, FA: c, FB: bb, Cond: ir.CondLT,
+			Targets: []string{"less", "geq"}})
+	l := f.NewBlock("less")
+	l.Ins = append(l.Ins,
+		ir.Ins{Kind: ir.OpCvFI, Dst: r, FA: c},
+		ir.Ins{Kind: ir.OpRet, A: r, FA: ir.None})
+	g := f.NewBlock("geq")
+	g.Ins = append(g.Ins,
+		ir.Ins{Kind: ir.OpConst, Dst: r, Imm: 99},
+		ir.Ins{Kind: ir.OpRet, A: r, FA: ir.None})
+	_, status, err := RunSource(&ir.Unit{Funcs: []*ir.Func{f}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c = 1.0, b = 1.25 -> less; (int)1.0 = 1
+	if status != 1 {
+		t.Errorf("status = %d, want 1", status)
+	}
+}
+
+func TestFloatMemoryAndSetCond(t *testing.T) {
+	f := ir.NewFunc("main")
+	p := f.NewIntReg()
+	r := f.NewIntReg()
+	x := f.NewFloatReg()
+	b := f.NewBlock("entry")
+	b.Ins = append(b.Ins,
+		ir.Ins{Kind: ir.OpAddr, Dst: p, Sym: "fv"},
+		ir.Ins{Kind: ir.OpLoadF, FDst: x, A: p, Size: 8},
+		ir.Ins{Kind: ir.OpFAdd, FDst: x, FA: x, FB: x},
+		ir.Ins{Kind: ir.OpStoreF, A: p, FB: x, Off: 8, Size: 8},
+		ir.Ins{Kind: ir.OpLoadF, FDst: x, A: p, Off: 8, Size: 8},
+		ir.Ins{Kind: ir.OpSetCondF, Dst: r, FA: x, FB: x, Cond: ir.CondEQ},
+		ir.Ins{Kind: ir.OpCvFI, Dst: p, FA: x},
+		ir.Ins{Kind: ir.OpAdd, Dst: r, A: r, B: p},
+		ir.Ins{Kind: ir.OpRet, A: r, FA: ir.None})
+	u := &ir.Unit{Funcs: []*ir.Func{f},
+		Data: []ir.Datum{{Label: "fv", Kind: ir.DFloats, Floats: []float64{2.25, 0}}}}
+	_, status, err := RunSource(u, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2.25*2 = 4.5 stored and reloaded; setcond 1; (int)4.5 = 4 -> 5
+	if status != 5 {
+		t.Errorf("status = %d, want 5", status)
+	}
+}
+
+func TestFloatReturnValue(t *testing.T) {
+	h := ir.NewFunc("half")
+	xi := h.NewFloatReg()
+	h.Params = []ir.Arg{{R: xi, Float: true}}
+	ho := h.NewFloatReg()
+	two := h.NewFloatReg()
+	hb := h.NewBlock("entry")
+	hb.Ins = append(hb.Ins,
+		ir.Ins{Kind: ir.OpConstF, FDst: two, FImm: 2.0},
+		ir.Ins{Kind: ir.OpFDiv, FDst: ho, FA: xi, FB: two},
+		ir.Ins{Kind: ir.OpRet, A: ir.None, FA: ho})
+
+	m := ir.NewFunc("main")
+	arg := m.NewFloatReg()
+	resF := m.NewFloatReg()
+	resI := m.NewIntReg()
+	mb := m.NewBlock("entry")
+	mb.Ins = append(mb.Ins,
+		ir.Ins{Kind: ir.OpConstF, FDst: arg, FImm: 9.0},
+		ir.Ins{Kind: ir.OpCall, Sym: "half", Dst: ir.None, FDst: resF,
+			Args: []ir.Arg{{R: arg, Float: true}}},
+		ir.Ins{Kind: ir.OpCvFI, Dst: resI, FA: resF},
+		ir.Ins{Kind: ir.OpRet, A: resI, FA: ir.None})
+	_, status, err := RunSource(&ir.Unit{Funcs: []*ir.Func{h, m}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 4 {
+		t.Errorf("status = %d, want 4", status)
+	}
+}

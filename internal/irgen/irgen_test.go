@@ -1,0 +1,476 @@
+package irgen
+
+import (
+	"strings"
+	"testing"
+
+	"branchreg/internal/ir"
+	"branchreg/internal/irexec"
+	"branchreg/internal/mc"
+)
+
+// run compiles MC source, lowers it, interprets it, and returns the output
+// and exit status.
+func run(t *testing.T, src, input string) (string, int32) {
+	t.Helper()
+	u, err := mc.Compile(src)
+	if err != nil {
+		t.Fatalf("front end: %v\nsource:\n%s", err, src)
+	}
+	iu, err := Lower(u)
+	if err != nil {
+		t.Fatalf("irgen: %v\nsource:\n%s", err, src)
+	}
+	for _, f := range iu.Funcs {
+		if err := f.Verify(); err != nil {
+			t.Fatalf("verify: %v\n%s", err, f)
+		}
+	}
+	out, status, err := irexec.RunSource(iu, input)
+	if err != nil {
+		t.Fatalf("irexec: %v\nsource:\n%s", err, src)
+	}
+	return out, status
+}
+
+func expectStatus(t *testing.T, src string, want int32) {
+	t.Helper()
+	_, got := run(t, src, "")
+	if got != want {
+		t.Errorf("exit status = %d, want %d\nsource:\n%s", got, want, src)
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	expectStatus(t, `int main(void) { return 42; }`, 42)
+}
+
+func TestArithmetic(t *testing.T) {
+	expectStatus(t, `int main(void) { return 2 + 3 * 4 - 20 / 4 - 9; }`, 0)
+	expectStatus(t, `int main(void) { return 17 % 5; }`, 2)
+	expectStatus(t, `int main(void) { return (5 & 3) + (5 | 3) + (5 ^ 3); }`, 1+7+6)
+	expectStatus(t, `int main(void) { return (1 << 4) + (256 >> 3); }`, 48)
+	expectStatus(t, `int main(void) { return -7 + 10; }`, 3)
+	expectStatus(t, `int main(void) { return ~0 + 2; }`, 1)
+	expectStatus(t, `int main(void) { return !5 + !0; }`, 1)
+	expectStatus(t, `int main(void) { return -9 / 2 + 10; }`, 6)
+	expectStatus(t, `int main(void) { return -9 % 4 + 3; }`, 2)
+}
+
+func TestComparisonsAsValues(t *testing.T) {
+	expectStatus(t, `int main(void) { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1) + (1 != 1); }`, 4)
+}
+
+func TestLogicalOps(t *testing.T) {
+	expectStatus(t, `int main(void) { return (1 && 2) + (0 && 1)*10 + (0 || 3) + (0 || 0)*10; }`, 2)
+	// Short-circuit: the divide by zero must not execute.
+	expectStatus(t, `
+int boom(void) { exit(9); return 1; }
+int main(void) { if (0 && boom()) return 1; if (1 || boom()) return 7; return 2; }`, 7)
+}
+
+func TestVariablesAndAssignment(t *testing.T) {
+	expectStatus(t, `int main(void) { int x = 5; int y; y = x + 2; x += y; x *= 2; x -= 4; x /= 2; return x; }`, 10)
+	expectStatus(t, `int main(void) { int x = 1; x <<= 4; x |= 2; x &= 18; x ^= 16; x %= 3; return x; }`, 2)
+}
+
+func TestIncDec(t *testing.T) {
+	expectStatus(t, `int main(void) { int x = 5; int a = x++; int b = ++x; int c = x--; int d = --x; return a*1000 + b*100 + c*10 + d; }`, 5775)
+}
+
+func TestIfElse(t *testing.T) {
+	expectStatus(t, `int main(void) { int x = 3; if (x > 2) return 1; else return 2; }`, 1)
+	expectStatus(t, `int main(void) { int x = 1; if (x > 2) return 1; return 2; }`, 2)
+	expectStatus(t, `
+int main(void) {
+    int x = 5, r = 0;
+    if (x == 1) r = 1;
+    else if (x == 5) r = 50;
+    else r = 9;
+    return r;
+}`, 50)
+}
+
+func TestLoops(t *testing.T) {
+	expectStatus(t, `int main(void) { int s = 0; int i; for (i = 1; i <= 10; i++) s += i; return s; }`, 55)
+	expectStatus(t, `int main(void) { int s = 0, i = 0; while (i < 5) { s += 2; i++; } return s; }`, 10)
+	expectStatus(t, `int main(void) { int i = 10, n = 0; do { n++; i--; } while (i); return n; }`, 10)
+	expectStatus(t, `
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        s += i;
+    }
+    return s;
+}`, 0+1+2+4+5+6)
+	// Nested loops.
+	expectStatus(t, `
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            if (j > i) s++;
+    return s;
+}`, 6)
+}
+
+func TestSwitch(t *testing.T) {
+	src := `
+int classify(int c) {
+    switch (c) {
+    case 1: return 10;
+    case 2:
+    case 3: return 23;
+    case 9: break;
+    default: return 99;
+    }
+    return 5;
+}
+int main(void) { return classify(%d); }
+`
+	cases := map[string]int32{"1": 10, "2": 23, "3": 23, "9": 5, "4": 99}
+	for arg, want := range cases {
+		s := strings.Replace(src, "%d", arg, 1)
+		expectStatus(t, s, want)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	expectStatus(t, `
+int main(void) {
+    int n = 0;
+    switch (2) {
+    case 1: n += 1;
+    case 2: n += 2;
+    case 3: n += 4;
+    default: n += 8;
+    }
+    return n;
+}`, 14)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	expectStatus(t, `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void) { return fib(10); }`, 55)
+	expectStatus(t, `
+int ack(int m, int n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+int main(void) { return ack(2, 3); }`, 9)
+}
+
+func TestGlobals(t *testing.T) {
+	expectStatus(t, `
+int g = 7;
+int h;
+int bump(void) { g++; h = g * 2; return 0; }
+int main(void) { bump(); bump(); return g + h; }`, 9+18)
+}
+
+func TestArrays(t *testing.T) {
+	expectStatus(t, `
+int a[10];
+int main(void) {
+    int i;
+    for (i = 0; i < 10; i++) a[i] = i * i;
+    int s = 0;
+    for (i = 0; i < 10; i++) s += a[i];
+    return s;
+}`, 285)
+	expectStatus(t, `
+int t[5] = {5, 4, 3, 2, 1};
+int main(void) { return t[0]*10000 + t[4]; }`, 50001)
+	expectStatus(t, `
+int m[3][3] = {{1,2,3},{4,5,6},{7,8,9}};
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 3; i++) s += m[i][i];
+    return s;
+}`, 15)
+}
+
+func TestLocalArrays(t *testing.T) {
+	expectStatus(t, `
+int main(void) {
+    int a[4] = {1, 2, 3, 4};
+    int s = 0;
+    for (int i = 0; i < 4; i++) s += a[i];
+    return s;
+}`, 10)
+	expectStatus(t, `
+int main(void) {
+    char buf[8] = "hi";
+    return buf[0] + (buf[2] == 0);
+}`, 'h'+1)
+}
+
+func TestPointers(t *testing.T) {
+	expectStatus(t, `
+int main(void) {
+    int x = 3;
+    int *p = &x;
+    *p = 7;
+    return x;
+}`, 7)
+	expectStatus(t, `
+int a[5] = {10, 20, 30, 40, 50};
+int main(void) {
+    int *p = a;
+    p++;
+    p += 2;
+    int d = p - a;
+    return *p + d;
+}`, 43)
+	expectStatus(t, `
+void set(int *p, int v) { *p = v; }
+int main(void) { int x = 0; set(&x, 31); return x; }`, 31)
+}
+
+func TestCharSemantics(t *testing.T) {
+	// char arithmetic wraps to signed 8 bits.
+	expectStatus(t, `int main(void) { char c = 200; return c < 0; }`, 1)
+	expectStatus(t, `int main(void) { char c = 127; c++; return c == -128; }`, 1)
+	expectStatus(t, `
+char s[4] = {65, 66, 67, 0};
+int len(char *p) { int n = 0; for (; *p; p++) n++; return n; }
+int main(void) { return len(s); }`, 3)
+}
+
+func TestStrings(t *testing.T) {
+	out, status := run(t, `
+void print(char *s) { for (; *s; s++) putchar(*s); }
+int main(void) { print("hello\n"); return 0; }`, "")
+	if out != "hello\n" || status != 0 {
+		t.Errorf("out = %q status = %d", out, status)
+	}
+}
+
+func TestGetcharPutchar(t *testing.T) {
+	out, _ := run(t, `
+int main(void) {
+    int c;
+    while ((c = getchar()) != -1) {
+        if (c >= 'a' && c <= 'z') c = c - 'a' + 'A';
+        putchar(c);
+    }
+    return 0;
+}`, "abc XYZ 123\n")
+	if out != "ABC XYZ 123\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFloats(t *testing.T) {
+	out, status := run(t, `
+float half(float x) { return x / 2.0; }
+int main(void) {
+    float a = 3.5;
+    float b = half(a) + 1.25;
+    putfloat(b);
+    putchar('\n');
+    if (b > 2.9 && b < 3.1) return 1;
+    return 0;
+}`, "")
+	if !strings.HasPrefix(out, "3.0000") {
+		t.Errorf("out = %q", out)
+	}
+	if status != 1 {
+		t.Errorf("status = %d", status)
+	}
+}
+
+func TestFloatIntConversions(t *testing.T) {
+	expectStatus(t, `int main(void) { float f = 7.9; int i = (int)f; return i; }`, 7)
+	expectStatus(t, `int main(void) { int i = 3; float f = i; f *= 2.5; return (int)f; }`, 7)
+	expectStatus(t, `float fs[2] = {1.5, 2.5}; int main(void) { return (int)(fs[0] + fs[1]); }`, 4)
+}
+
+func TestTernary(t *testing.T) {
+	expectStatus(t, `int main(void) { int x = 5; return x > 3 ? 10 : 20; }`, 10)
+	expectStatus(t, `int main(void) { int x = 1; return x > 3 ? 10 : 20; }`, 20)
+	expectStatus(t, `int main(void) { return (int)(0 ? 1.5 : 2.5); }`, 2)
+}
+
+func TestExitBuiltin(t *testing.T) {
+	out, status := run(t, `
+int main(void) { putchar('x'); exit(3); putchar('y'); return 0; }`, "")
+	if out != "x" || status != 3 {
+		t.Errorf("out = %q status = %d", out, status)
+	}
+}
+
+func TestGlobalPointerInit(t *testing.T) {
+	out, _ := run(t, `
+char *msg = "abc";
+int main(void) { for (char *p = msg; *p; p++) putchar(*p); return 0; }`, "")
+	if out != "abc" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestAddressTakenParam(t *testing.T) {
+	expectStatus(t, `
+void twice(int x, int *out) { *out = x * 2; }
+int caller(int v) { int r; twice(v, &r); return r; }
+int main(void) { return caller(21); }`, 42)
+	// Address of a parameter itself.
+	expectStatus(t, `
+void bump(int *p) { *p += 5; }
+int f(int x) { bump(&x); return x; }
+int main(void) { return f(10); }`, 15)
+}
+
+func TestByteMemoryOps(t *testing.T) {
+	expectStatus(t, `
+char buf[16];
+int main(void) {
+    for (int i = 0; i < 10; i++) buf[i] = 'a' + i;
+    return buf[3] == 'd' && buf[9] == 'j';
+}`, 1)
+}
+
+func TestUnsignedShiftViaSrl(t *testing.T) {
+	// MC >> is arithmetic; check sign preservation.
+	expectStatus(t, `int main(void) { int x = -8; return (x >> 1) == -4; }`, 1)
+}
+
+func TestLowerProducesLoops(t *testing.T) {
+	u, err := mc.Compile(`
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 9; i++)
+        for (int j = 0; j < 9; j++)
+            s++;
+    return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iu, err := Lower(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := iu.Funcs[0]
+	if len(f.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(f.Loops))
+	}
+	for _, l := range f.Loops {
+		if l.Preheader == nil {
+			t.Error("loop without preheader after Analyze")
+		}
+	}
+	var maxDepth int
+	for _, b := range f.Blocks {
+		if b.Depth > maxDepth {
+			maxDepth = b.Depth
+		}
+	}
+	if maxDepth != 2 {
+		t.Errorf("max depth = %d, want 2", maxDepth)
+	}
+}
+
+func TestLowerSwitchBecomesIRSwitch(t *testing.T) {
+	u, err := mc.Compile(`
+int main(void) {
+    switch (getchar()) {
+    case 1: return 1;
+    case 2: return 2;
+    case 3: return 3;
+    case 4: return 4;
+    default: return 0;
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iu, err := Lower(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range iu.Funcs[0].Blocks {
+		if tm := b.Term(); tm != nil && tm.Kind == ir.OpSwitch {
+			found = true
+			if len(tm.Cases) != 4 {
+				t.Errorf("switch cases = %d", len(tm.Cases))
+			}
+		}
+	}
+	if !found {
+		t.Error("no OpSwitch emitted")
+	}
+}
+
+func TestGlobalDataLowering(t *testing.T) {
+	u, err := mc.Compile(`
+int scalar = 5;
+char ch = 'x';
+float pi = 3.25;
+int arr[4] = {1, 2};
+char text[6] = "ab";
+char *ptr = "zz";
+float fs[2] = {1.0, 2.0};
+int zeroed[7];
+int main(void) { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iu, err := Lower(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]ir.Datum{}
+	for _, d := range iu.Data {
+		byLabel[d.Label] = d
+	}
+	if d := byLabel["scalar"]; d.Kind != ir.DWords || d.Words[0] != 5 {
+		t.Errorf("scalar = %+v", d)
+	}
+	if d := byLabel["arr"]; len(d.Words) != 4 || d.Words[1] != 2 || d.Words[2] != 0 {
+		t.Errorf("arr = %+v", d)
+	}
+	if d := byLabel["text"]; len(d.Bytes) != 6 || d.Bytes[0] != 'a' || d.Bytes[2] != 0 {
+		t.Errorf("text = %+v", d)
+	}
+	if d := byLabel["ptr"]; d.Kind != ir.DWords || len(d.Relocs) != 1 {
+		t.Errorf("ptr = %+v", d)
+	}
+	if d := byLabel["fs"]; d.Kind != ir.DFloats || d.Floats[1] != 2.0 {
+		t.Errorf("fs = %+v", d)
+	}
+	if d := byLabel["zeroed"]; d.Kind != ir.DZero || d.Size != 28 {
+		t.Errorf("zeroed = %+v", d)
+	}
+}
+
+func TestComplexProgramSort(t *testing.T) {
+	out, _ := run(t, `
+int a[8] = {42, 7, 19, 3, 88, 1, 55, 10};
+void sort(int *v, int n) {
+    for (int i = 0; i < n - 1; i++)
+        for (int j = 0; j < n - 1 - i; j++)
+            if (v[j] > v[j+1]) {
+                int t = v[j];
+                v[j] = v[j+1];
+                v[j+1] = t;
+            }
+}
+void puti(int n) {
+    if (n >= 10) puti(n / 10);
+    putchar('0' + n % 10);
+}
+int main(void) {
+    sort(a, 8);
+    for (int i = 0; i < 8; i++) { puti(a[i]); putchar(' '); }
+    return 0;
+}`, "")
+	if out != "1 3 7 10 19 42 55 88 " {
+		t.Errorf("out = %q", out)
+	}
+}

@@ -1,0 +1,152 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RTL renders the instruction in the register-transfer-list notation used
+// throughout the paper, e.g.
+//
+//	r[3]=r[1]+r[2];
+//	b[2]=b[0]+(L2-L1);
+//	b[7]=r[5]<0->b[2]|b[0];
+//	PC=NZ==0->L14;
+//
+// For BRM instructions whose BR field names a branch register other than
+// the PC, the transfer is shown as a parallel assignment b[0]=b[k], matching
+// the paper's Figures 4, 6 and 8.
+func (in *Instr) RTL(k Kind) string {
+	var b strings.Builder
+	b.WriteString(in.coreRTL(k))
+	if k == BranchReg && in.BR != PCBr {
+		fmt.Fprintf(&b, "; b[0]=b[%d]", in.BR)
+	}
+	return b.String()
+}
+
+func (in *Instr) rhs() string {
+	if in.UseImm {
+		return fmt.Sprintf("%d", in.Imm)
+	}
+	return fmt.Sprintf("r[%d]", in.Rs2)
+}
+
+func (in *Instr) addr() string {
+	off := in.rhs()
+	if in.DataTarget != "" {
+		off = "LO(" + in.DataTarget + ")"
+	}
+	if in.Rs1 < 0 {
+		return off
+	}
+	if in.UseImm && in.Imm == 0 && in.DataTarget == "" {
+		return fmt.Sprintf("r[%d]", in.Rs1)
+	}
+	return fmt.Sprintf("r[%d]+%s", in.Rs1, off)
+}
+
+var aluSyms = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpRem: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpSll: "<<", OpSrl: ">>", OpSra: ">>",
+}
+
+var fpSyms = map[Op]string{OpFadd: "+", OpFsub: "-", OpFmul: "*", OpFdiv: "/"}
+
+func (in *Instr) coreRTL(k Kind) string {
+	switch in.Op {
+	case OpNop:
+		return "NL=NL"
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra:
+		return fmt.Sprintf("r[%d]=r[%d]%s%s", in.Rd, in.Rs1, aluSyms[in.Op], in.rhs())
+	case OpSethi:
+		if in.DataTarget != "" {
+			return fmt.Sprintf("r[%d]=HI(%s)", in.Rd, in.DataTarget)
+		}
+		return fmt.Sprintf("r[%d]=HI(%d)", in.Rd, in.Imm)
+	case OpLw:
+		return fmt.Sprintf("r[%d]=L[%s]", in.Rd, in.addr())
+	case OpLb:
+		return fmt.Sprintf("r[%d]=B[%s]", in.Rd, in.addr())
+	case OpSw:
+		return fmt.Sprintf("L[%s]=r[%d]", in.addr(), in.Rd)
+	case OpSb:
+		return fmt.Sprintf("B[%s]=r[%d]", in.addr(), in.Rd)
+	case OpLf:
+		return fmt.Sprintf("f[%d]=F[%s]", in.Rd, in.addr())
+	case OpSf:
+		return fmt.Sprintf("F[%s]=f[%d]", in.addr(), in.Rd)
+	case OpFadd, OpFsub, OpFmul, OpFdiv:
+		return fmt.Sprintf("f[%d]=f[%d]%sf[%d]", in.Rd, in.Rs1, fpSyms[in.Op], in.Rs2)
+	case OpFneg:
+		return fmt.Sprintf("f[%d]=-f[%d]", in.Rd, in.Rs1)
+	case OpFmov:
+		return fmt.Sprintf("f[%d]=f[%d]", in.Rd, in.Rs1)
+	case OpCvtif:
+		return fmt.Sprintf("f[%d]=(float)r[%d]", in.Rd, in.Rs1)
+	case OpCvtfi:
+		return fmt.Sprintf("r[%d]=(int)f[%d]", in.Rd, in.Rs1)
+	case OpTrap:
+		return fmt.Sprintf("trap(%d)", in.Imm)
+	case OpSet:
+		return fmt.Sprintf("r[%d]=r[%d]%s%s", in.Rd, in.Rs1, in.Cond, in.rhs())
+	case OpFSet:
+		return fmt.Sprintf("r[%d]=f[%d]%sf[%d]", in.Rd, in.Rs1, in.Cond, in.Rs2)
+	case OpCmp:
+		return fmt.Sprintf("CC=r[%d]?%s", in.Rs1, in.rhs())
+	case OpFcmp:
+		return fmt.Sprintf("CC=f[%d]?f[%d]", in.Rs1, in.Rs2)
+	case OpB:
+		if in.Cond == CondAlways {
+			return fmt.Sprintf("PC=%s", in.targetStr())
+		}
+		return fmt.Sprintf("PC=CC%s0->%s", in.Cond, in.targetStr())
+	case OpCall:
+		return fmt.Sprintf("r[%d]=PC+8; PC=%s", RABase, in.targetStr())
+	case OpJr:
+		return fmt.Sprintf("PC=r[%d]", in.Rs1)
+	case OpJalr:
+		return fmt.Sprintf("r[%d]=PC+8; PC=r[%d]", RABase, in.Rs1)
+	case OpBrCalc:
+		if in.Rs1 >= 0 {
+			if in.DataTarget != "" {
+				return fmt.Sprintf("b[%d]=r[%d]+LO(%s)", in.Rd, in.Rs1, in.DataTarget)
+			}
+			if in.Target != "" {
+				return fmt.Sprintf("b[%d]=r[%d]+LO(%s)", in.Rd, in.Rs1, in.Target)
+			}
+			return fmt.Sprintf("b[%d]=r[%d]+%d", in.Rd, in.Rs1, in.Imm)
+		}
+		return fmt.Sprintf("b[%d]=b[0]+(%s-.)", in.Rd, in.targetStr())
+	case OpBrLd:
+		return fmt.Sprintf("b[%d]=L[%s]", in.Rd, in.addr())
+	case OpCmpBr:
+		return fmt.Sprintf("b[%d]=r[%d]%s%s->b[%d]|b[0]", RABr, in.Rs1, in.Cond, in.rhs(), in.BSrc)
+	case OpFCmpBr:
+		return fmt.Sprintf("b[%d]=f[%d]%sf[%d]->b[%d]|b[0]", RABr, in.Rs1, in.Cond, in.Rs2, in.BSrc)
+	case OpMovBr:
+		return fmt.Sprintf("b[%d]=b[%d]", in.Rd, in.BSrc)
+	case OpMovRB:
+		return fmt.Sprintf("r[%d]=b[%d]", in.Rd, in.BSrc)
+	case OpMovBR:
+		return fmt.Sprintf("b[%d]=r[%d]", in.Rd, in.Rs1)
+	}
+	return fmt.Sprintf("<%s>", in.Op)
+}
+
+func (in *Instr) targetStr() string {
+	if in.Target != "" {
+		return in.Target
+	}
+	return fmt.Sprintf("0x%x", uint32(in.Imm))
+}
+
+// String renders a compact assembly-like form, with the RTL as a comment
+// style fallback for unusual operations.
+func (in *Instr) String() string {
+	s := in.RTL(BranchReg)
+	if in.Comment != "" {
+		s += " /* " + in.Comment + " */"
+	}
+	return s
+}

@@ -1,0 +1,53 @@
+package isa
+
+import "math"
+
+// SplitAddr splits a 32-bit value into a high part for sethi (rd = hi<<12)
+// and a signed 12-bit low part such that (hi<<12) + lo == v. The low part is
+// balanced into [-2048, 2047] so it fits the machines' signed add
+// immediates (the SPARC-style two-instruction global address calculation of
+// paper §4).
+func SplitAddr(v int32) (hi int32, lo int32) {
+	lo = v & 0xFFF
+	if lo >= 0x800 {
+		lo -= 0x1000
+	}
+	hi = int32(uint32(v-lo) >> 12)
+	return hi, lo
+}
+
+// floatBits returns the IEEE-754 bit pattern of f for the data image.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// FloatBits returns the IEEE-754 bit pattern of f.
+func FloatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// FloatFromBits is the inverse of floatBits.
+func FloatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// FitsSigned reports whether v fits in an n-bit signed field.
+func FitsSigned(v int32, n uint) bool {
+	min := int32(-1) << (n - 1)
+	max := -min - 1
+	return v >= min && v <= max
+}
+
+// ALUImmBits returns the width of the signed immediate field of ALU and
+// memory instructions on machine k (paper §7: the BRM has a "smaller range
+// of available constants in some instructions").
+func ALUImmBits(k Kind) uint {
+	if k == Baseline {
+		return 15
+	}
+	return 12
+}
+
+// CmpImmBits returns the width of the signed immediate of the compare
+// instruction on machine k (the BRM compare also encodes the source branch
+// register, costing immediate bits).
+func CmpImmBits(k Kind) uint {
+	if k == Baseline {
+		return 15
+	}
+	return 11
+}

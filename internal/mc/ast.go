@@ -1,0 +1,261 @@
+package mc
+
+// The AST. Every expression node embeds exprBase, which carries the source
+// position and, after type checking, the node's type.
+
+// Node is any AST node.
+type Node interface {
+	Pos() (line, col int)
+}
+
+type pos struct{ Line, Col int }
+
+func (p pos) Pos() (int, int) { return p.Line, p.Col }
+
+// ---- Expressions ----
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	Type() *Type
+	setType(*Type)
+}
+
+type exprBase struct {
+	pos
+	typ *Type
+}
+
+func (e *exprBase) Type() *Type     { return e.typ }
+func (e *exprBase) setType(t *Type) { e.typ = t }
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// StrLit is a string literal; the checker assigns it a data label.
+type StrLit struct {
+	exprBase
+	Value string
+	Label string
+}
+
+// Ident is a name reference, resolved by the checker to a symbol.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *Symbol
+}
+
+// Unary is a prefix operator: ! ~ - + * & ++ -- (Op holds the spelling;
+// "++"/"--" are pre-increments).
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Postfix is x++ or x--.
+type Postfix struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operator (arithmetic, relational, logical, bitwise).
+type Binary struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// Assign is an assignment, possibly compound ("=", "+=", ...).
+type Assign struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// Cond is the ternary operator c ? t : f.
+type CondExpr struct {
+	exprBase
+	C, T, F Expr
+}
+
+// Index is array/pointer subscripting a[i].
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Call is a function call.
+type Call struct {
+	exprBase
+	Fun  Expr // must resolve to an Ident naming a function
+	Args []Expr
+}
+
+// Cast is an explicit conversion (T)x.
+type Cast struct {
+	exprBase
+	To *Type
+	X  Expr
+}
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface{ Node }
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	pos
+	X Expr
+}
+
+// DeclStmt declares local variables.
+type DeclStmt struct {
+	pos
+	Decls []*VarDecl
+}
+
+// Block is a brace-enclosed statement list with its own scope.
+type Block struct {
+	pos
+	Stmts []Stmt
+}
+
+// If is if/else.
+type If struct {
+	pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is a while loop.
+type While struct {
+	pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is a do { } while loop.
+type DoWhile struct {
+	pos
+	Body Stmt
+	Cond Expr
+}
+
+// For is a for loop; any clause may be nil. Init may be a DeclStmt or
+// ExprStmt.
+type For struct {
+	pos
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// Switch is a switch over an integer expression.
+type Switch struct {
+	pos
+	X     Expr
+	Cases []*Case
+}
+
+// Case is one case (or default when IsDefault) in a switch; Body runs with
+// C fallthrough semantics.
+type Case struct {
+	pos
+	IsDefault bool
+	Value     int64
+	Body      []Stmt
+}
+
+// Break exits the innermost loop or switch.
+type Break struct{ pos }
+
+// Continue continues the innermost loop.
+type Continue struct{ pos }
+
+// Return returns from the function; X may be nil.
+type Return struct {
+	pos
+	X Expr
+}
+
+// Empty is the empty statement ";".
+type Empty struct{ pos }
+
+// ---- Declarations ----
+
+// SymKind classifies symbols.
+type SymKind int
+
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+	SymFunc
+)
+
+// Symbol is a resolved name.
+type Symbol struct {
+	Name   string
+	Kind   SymKind
+	Type   *Type
+	Fun    *FuncDecl // SymFunc
+	Index  int       // SymLocal/SymParam: dense per-function index
+	Global *VarDecl  // SymGlobal
+}
+
+// Initializer is a variable initializer: either a single expression or a
+// brace list (possibly nested for 2-D arrays).
+type Initializer struct {
+	pos
+	Expr Expr
+	List []*Initializer
+}
+
+// VarDecl declares one variable.
+type VarDecl struct {
+	pos
+	Name string
+	Type *Type
+	Init *Initializer // may be nil
+	Sym  *Symbol
+}
+
+// Param is one function parameter.
+type Param struct {
+	pos
+	Name string
+	Type *Type
+	Sym  *Symbol
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	pos
+	Name   string
+	Ret    *Type
+	Params []*Param
+	Body   *Block
+	Locals []*Symbol // filled by the checker: all locals+params, dense Index
+}
+
+// Unit is a whole translation unit.
+type Unit struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+	Strings []*StrLit // all string literals, labeled, in order of appearance
+}

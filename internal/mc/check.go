@@ -1,0 +1,658 @@
+package mc
+
+import "fmt"
+
+// Builtin function names recognized by the checker; the code generators
+// lower them to trap instructions.
+var Builtins = map[string]*Type{
+	"getchar":  {Kind: TFunc, Ret: IntType},
+	"putchar":  {Kind: TFunc, Ret: VoidType, Params: []*Type{IntType}},
+	"putfloat": {Kind: TFunc, Ret: VoidType, Params: []*Type{FloatType}},
+	"exit":     {Kind: TFunc, Ret: VoidType, Params: []*Type{IntType}},
+}
+
+type scope struct {
+	parent *scope
+	syms   map[string]*Symbol
+}
+
+func (s *scope) lookup(name string) *Symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.syms[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	unit    *Unit
+	globals *scope
+	fn      *FuncDecl
+	cur     *scope
+	loops   int // nesting depth of loops (continue targets)
+	breaks  int // nesting depth of loops+switches (break targets)
+	nstr    int
+}
+
+// Check resolves names and types across the unit. On success every
+// expression node has a type, every identifier a symbol, every string
+// literal a label, and every function a dense local-symbol table.
+func Check(u *Unit) error {
+	c := &checker{unit: u, globals: &scope{syms: map[string]*Symbol{}}}
+	for name, typ := range Builtins {
+		c.globals.syms[name] = &Symbol{Name: name, Kind: SymFunc, Type: typ}
+	}
+	for _, g := range u.Globals {
+		if g.Type.Kind == TVoid {
+			return errAt(g.Line, g.Col, "variable %s has void type", g.Name)
+		}
+		if c.globals.syms[g.Name] != nil {
+			return errAt(g.Line, g.Col, "redefinition of %s", g.Name)
+		}
+		sym := &Symbol{Name: g.Name, Kind: SymGlobal, Type: g.Type, Global: g}
+		g.Sym = sym
+		c.globals.syms[g.Name] = sym
+	}
+	for _, f := range u.Funcs {
+		if c.globals.syms[f.Name] != nil {
+			return errAt(f.Line, f.Col, "redefinition of %s", f.Name)
+		}
+		ft := &Type{Kind: TFunc, Ret: f.Ret}
+		for _, p := range f.Params {
+			ft.Params = append(ft.Params, p.Type.Decay())
+		}
+		c.globals.syms[f.Name] = &Symbol{Name: f.Name, Kind: SymFunc, Type: ft, Fun: f}
+	}
+	for _, g := range u.Globals {
+		if g.Init != nil {
+			if err := c.checkGlobalInit(g); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range u.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkGlobalInit validates that a global initializer is constant and
+// type-compatible; expressions are type-checked in the global scope (so
+// they may reference string literals and constants only — irgen enforces
+// constancy when materializing).
+func (c *checker) checkGlobalInit(g *VarDecl) error {
+	c.cur = c.globals
+	c.fn = nil
+	return c.checkInit(g.Init, g.Type, g.Name)
+}
+
+func (c *checker) checkInit(init *Initializer, typ *Type, name string) error {
+	if init.List != nil {
+		if typ.Kind != TArray {
+			return errAt(init.Line, init.Col, "brace initializer for non-array %s", name)
+		}
+		if len(init.List) > typ.Len {
+			return errAt(init.Line, init.Col, "too many initializers for %s", name)
+		}
+		for _, sub := range init.List {
+			if err := c.checkInit(sub, typ.Elem, name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.checkExpr(init.Expr); err != nil {
+		return err
+	}
+	et := init.Expr.Type()
+	if typ.Kind == TArray && typ.Elem.Kind == TChar {
+		// char array initialized from string literal
+		if _, ok := init.Expr.(*StrLit); ok {
+			return nil
+		}
+	}
+	if !assignable(typ.Decay(), et) {
+		return errAt(init.Line, init.Col, "cannot initialize %s (%s) from %s", name, typ, et)
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	f.Locals = nil
+	c.cur = &scope{parent: c.globals, syms: map[string]*Symbol{}}
+	for _, p := range f.Params {
+		if c.cur.syms[p.Name] != nil {
+			return errAt(p.Line, p.Col, "duplicate parameter %s", p.Name)
+		}
+		sym := &Symbol{Name: p.Name, Kind: SymParam, Type: p.Type.Decay(), Index: len(f.Locals)}
+		p.Sym = sym
+		f.Locals = append(f.Locals, sym)
+		c.cur.syms[p.Name] = sym
+	}
+	if err := c.checkBlock(f.Body); err != nil {
+		return err
+	}
+	c.fn = nil
+	return nil
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.cur = &scope{parent: c.cur, syms: map[string]*Symbol{}}
+	defer func() { c.cur = c.cur.parent }()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) declareLocal(d *VarDecl) error {
+	if d.Type.Kind == TVoid {
+		return errAt(d.Line, d.Col, "variable %s has void type", d.Name)
+	}
+	if c.cur.syms[d.Name] != nil {
+		return errAt(d.Line, d.Col, "redefinition of %s", d.Name)
+	}
+	sym := &Symbol{Name: d.Name, Kind: SymLocal, Type: d.Type, Index: len(c.fn.Locals)}
+	d.Sym = sym
+	c.fn.Locals = append(c.fn.Locals, sym)
+	c.cur.syms[d.Name] = sym
+	if d.Init != nil {
+		if err := c.checkInit(d.Init, d.Type, d.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Empty:
+		return nil
+	case *Block:
+		return c.checkBlock(st)
+	case *DeclStmt:
+		for _, d := range st.Decls {
+			if err := c.declareLocal(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ExprStmt:
+		return c.checkExpr(st.X)
+	case *If:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *While:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		c.breaks++
+		err := c.checkStmt(st.Body)
+		c.loops--
+		c.breaks--
+		return err
+	case *DoWhile:
+		c.loops++
+		c.breaks++
+		err := c.checkStmt(st.Body)
+		c.loops--
+		c.breaks--
+		if err != nil {
+			return err
+		}
+		return c.checkCond(st.Cond)
+	case *For:
+		// A for-init declaration scopes over the whole loop.
+		c.cur = &scope{parent: c.cur, syms: map[string]*Symbol{}}
+		defer func() { c.cur = c.cur.parent }()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		c.breaks++
+		err := c.checkStmt(st.Body)
+		c.loops--
+		c.breaks--
+		return err
+	case *Switch:
+		if err := c.checkExpr(st.X); err != nil {
+			return err
+		}
+		if !st.X.Type().IsInteger() {
+			l, col := st.X.Pos()
+			return errAt(l, col, "switch expression must be integer, have %s", st.X.Type())
+		}
+		seen := map[int64]bool{}
+		defaults := 0
+		c.breaks++
+		defer func() { c.breaks-- }()
+		for _, cs := range st.Cases {
+			if cs.IsDefault {
+				defaults++
+				if defaults > 1 {
+					return errAt(cs.Line, cs.Col, "multiple default labels")
+				}
+			} else {
+				if seen[cs.Value] {
+					return errAt(cs.Line, cs.Col, "duplicate case %d", cs.Value)
+				}
+				seen[cs.Value] = true
+			}
+			for _, b := range cs.Body {
+				if err := c.checkStmt(b); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case *Break:
+		if c.breaks == 0 {
+			return errAt(st.Line, st.Col, "break outside loop or switch")
+		}
+		return nil
+	case *Continue:
+		if c.loops == 0 {
+			return errAt(st.Line, st.Col, "continue outside loop")
+		}
+		return nil
+	case *Return:
+		if st.X == nil {
+			if c.fn.Ret.Kind != TVoid {
+				return errAt(st.Line, st.Col, "return without value in %s returning %s", c.fn.Name, c.fn.Ret)
+			}
+			return nil
+		}
+		if c.fn.Ret.Kind == TVoid {
+			return errAt(st.Line, st.Col, "return with value in void function %s", c.fn.Name)
+		}
+		if err := c.checkExpr(st.X); err != nil {
+			return err
+		}
+		if !assignable(c.fn.Ret, st.X.Type()) {
+			return errAt(st.Line, st.Col, "cannot return %s from %s returning %s", st.X.Type(), c.fn.Name, c.fn.Ret)
+		}
+		return nil
+	}
+	return fmt.Errorf("mc: unknown statement %T", s)
+}
+
+func (c *checker) checkCond(e Expr) error {
+	if err := c.checkExpr(e); err != nil {
+		return err
+	}
+	if !e.Type().IsScalar() {
+		l, col := e.Pos()
+		return errAt(l, col, "condition must be scalar, have %s", e.Type())
+	}
+	return nil
+}
+
+// assignable reports whether a value of type src may be assigned to dst.
+// Numeric types interconvert implicitly; pointers require matching element
+// types (or void*-like char* looseness is NOT allowed — use casts).
+func assignable(dst, src *Type) bool {
+	src = src.Decay()
+	if dst.IsArith() && src.IsArith() {
+		return true
+	}
+	if dst.Kind == TPtr && src.Kind == TPtr {
+		return dst.Elem.Same(src.Elem)
+	}
+	return false
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch x := e.(type) {
+	case *IntLit:
+		x.setType(IntType)
+		return nil
+	case *FloatLit:
+		x.setType(FloatType)
+		return nil
+	case *StrLit:
+		x.Label = fmt.Sprintf("Lstr%d", c.nstr)
+		c.nstr++
+		c.unit.Strings = append(c.unit.Strings, x)
+		x.setType(PtrTo(CharType))
+		return nil
+	case *Ident:
+		sym := c.cur.lookup(x.Name)
+		if sym == nil {
+			return errAt(x.Line, x.Col, "undeclared identifier %s", x.Name)
+		}
+		x.Sym = sym
+		x.setType(sym.Type)
+		return nil
+	case *Unary:
+		return c.checkUnary(x)
+	case *Postfix:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		if !isLvalue(x.X) {
+			return errAt(x.Line, x.Col, "%s requires an lvalue", x.Op)
+		}
+		t := x.X.Type()
+		if !t.IsInteger() && t.Kind != TPtr && t.Kind != TFloat {
+			return errAt(x.Line, x.Col, "%s on non-scalar %s", x.Op, t)
+		}
+		x.setType(t)
+		return nil
+	case *Binary:
+		return c.checkBinary(x)
+	case *Assign:
+		return c.checkAssign(x)
+	case *CondExpr:
+		if err := c.checkCond(x.C); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.T); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.F); err != nil {
+			return err
+		}
+		tt, ft := x.T.Type().Decay(), x.F.Type().Decay()
+		switch {
+		case tt.IsArith() && ft.IsArith():
+			x.setType(arith(tt, ft))
+		case tt.Kind == TPtr && ft.Kind == TPtr && tt.Elem.Same(ft.Elem):
+			x.setType(tt)
+		case tt.Kind == TPtr && ft.IsInteger():
+			x.setType(tt) // p : 0
+		case ft.Kind == TPtr && tt.IsInteger():
+			x.setType(ft)
+		default:
+			return errAt(x.Line, x.Col, "incompatible ternary arms %s and %s", tt, ft)
+		}
+		return nil
+	case *Index:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.I); err != nil {
+			return err
+		}
+		xt := x.X.Type().Decay()
+		if xt.Kind != TPtr {
+			return errAt(x.Line, x.Col, "subscript of non-pointer %s", x.X.Type())
+		}
+		if !x.I.Type().IsInteger() {
+			return errAt(x.Line, x.Col, "subscript index must be integer, have %s", x.I.Type())
+		}
+		if xt.Elem.Kind == TVoid || xt.Elem.Kind == TFunc {
+			return errAt(x.Line, x.Col, "subscript of %s", x.X.Type())
+		}
+		x.setType(xt.Elem)
+		return nil
+	case *Call:
+		id, ok := x.Fun.(*Ident)
+		if !ok {
+			l, col := x.Fun.Pos()
+			return errAt(l, col, "call of non-function expression")
+		}
+		sym := c.cur.lookup(id.Name)
+		if sym == nil {
+			return errAt(id.Line, id.Col, "undeclared function %s", id.Name)
+		}
+		if sym.Kind != SymFunc {
+			return errAt(id.Line, id.Col, "%s is not a function", id.Name)
+		}
+		id.Sym = sym
+		id.setType(sym.Type)
+		ft := sym.Type
+		if len(x.Args) != len(ft.Params) {
+			return errAt(x.Line, x.Col, "%s expects %d arguments, got %d", id.Name, len(ft.Params), len(x.Args))
+		}
+		for i, a := range x.Args {
+			if err := c.checkExpr(a); err != nil {
+				return err
+			}
+			if !assignable(ft.Params[i], a.Type()) {
+				l, col := a.Pos()
+				return errAt(l, col, "argument %d of %s: cannot pass %s as %s", i+1, id.Name, a.Type(), ft.Params[i])
+			}
+		}
+		x.setType(ft.Ret)
+		return nil
+	case *Cast:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		st := x.X.Type().Decay()
+		dt := x.To
+		ok := false
+		switch {
+		case dt.Kind == TVoid:
+			ok = true
+		case dt.IsArith() && st.IsArith():
+			ok = true
+		case dt.Kind == TPtr && (st.Kind == TPtr || st.IsInteger()):
+			ok = true
+		case dt.IsInteger() && st.Kind == TPtr:
+			ok = true
+		}
+		if !ok {
+			return errAt(x.Line, x.Col, "invalid cast from %s to %s", st, dt)
+		}
+		x.setType(dt)
+		return nil
+	}
+	return fmt.Errorf("mc: unknown expression %T", e)
+}
+
+func (c *checker) checkUnary(x *Unary) error {
+	if err := c.checkExpr(x.X); err != nil {
+		return err
+	}
+	t := x.X.Type()
+	switch x.Op {
+	case "!":
+		if !t.IsScalar() && t.Kind != TArray {
+			return errAt(x.Line, x.Col, "! on %s", t)
+		}
+		x.setType(IntType)
+	case "~":
+		if !t.IsInteger() {
+			return errAt(x.Line, x.Col, "~ on %s", t)
+		}
+		x.setType(IntType)
+	case "-":
+		if !t.IsArith() {
+			return errAt(x.Line, x.Col, "unary - on %s", t)
+		}
+		if t.Kind == TFloat {
+			x.setType(FloatType)
+		} else {
+			x.setType(IntType)
+		}
+	case "*":
+		dt := t.Decay()
+		if dt.Kind != TPtr || dt.Elem.Kind == TVoid || dt.Elem.Kind == TFunc {
+			return errAt(x.Line, x.Col, "dereference of %s", t)
+		}
+		x.setType(dt.Elem)
+	case "&":
+		if !isLvalue(x.X) {
+			return errAt(x.Line, x.Col, "& requires an lvalue")
+		}
+		x.setType(PtrTo(t))
+	case "++", "--":
+		if !isLvalue(x.X) {
+			return errAt(x.Line, x.Col, "%s requires an lvalue", x.Op)
+		}
+		if !t.IsInteger() && t.Kind != TPtr && t.Kind != TFloat {
+			return errAt(x.Line, x.Col, "%s on %s", x.Op, t)
+		}
+		x.setType(t)
+	default:
+		return errAt(x.Line, x.Col, "unknown unary operator %s", x.Op)
+	}
+	return nil
+}
+
+// arith computes the usual arithmetic conversion result.
+func arith(a, b *Type) *Type {
+	if a.Kind == TFloat || b.Kind == TFloat {
+		return FloatType
+	}
+	return IntType
+}
+
+func (c *checker) checkBinary(x *Binary) error {
+	if err := c.checkExpr(x.L); err != nil {
+		return err
+	}
+	if err := c.checkExpr(x.R); err != nil {
+		return err
+	}
+	lt, rt := x.L.Type().Decay(), x.R.Type().Decay()
+	switch x.Op {
+	case "&&", "||":
+		if !lt.IsScalar() || !rt.IsScalar() {
+			return errAt(x.Line, x.Col, "%s on %s and %s", x.Op, lt, rt)
+		}
+		x.setType(IntType)
+	case "==", "!=", "<", "<=", ">", ">=":
+		switch {
+		case lt.IsArith() && rt.IsArith():
+		case lt.Kind == TPtr && rt.Kind == TPtr:
+		case lt.Kind == TPtr && rt.IsInteger():
+		case rt.Kind == TPtr && lt.IsInteger():
+		default:
+			return errAt(x.Line, x.Col, "comparison of %s and %s", lt, rt)
+		}
+		x.setType(IntType)
+	case "+":
+		switch {
+		case lt.IsArith() && rt.IsArith():
+			x.setType(arith(lt, rt))
+		case lt.Kind == TPtr && rt.IsInteger():
+			x.setType(lt)
+		case rt.Kind == TPtr && lt.IsInteger():
+			x.setType(rt)
+		default:
+			return errAt(x.Line, x.Col, "+ on %s and %s", lt, rt)
+		}
+	case "-":
+		switch {
+		case lt.IsArith() && rt.IsArith():
+			x.setType(arith(lt, rt))
+		case lt.Kind == TPtr && rt.IsInteger():
+			x.setType(lt)
+		case lt.Kind == TPtr && rt.Kind == TPtr && lt.Elem.Same(rt.Elem):
+			x.setType(IntType)
+		default:
+			return errAt(x.Line, x.Col, "- on %s and %s", lt, rt)
+		}
+	case "*", "/":
+		if !lt.IsArith() || !rt.IsArith() {
+			return errAt(x.Line, x.Col, "%s on %s and %s", x.Op, lt, rt)
+		}
+		x.setType(arith(lt, rt))
+	case "%", "&", "|", "^", "<<", ">>":
+		if !lt.IsInteger() || !rt.IsInteger() {
+			return errAt(x.Line, x.Col, "%s on %s and %s", x.Op, lt, rt)
+		}
+		x.setType(IntType)
+	default:
+		return errAt(x.Line, x.Col, "unknown binary operator %s", x.Op)
+	}
+	return nil
+}
+
+func (c *checker) checkAssign(x *Assign) error {
+	if err := c.checkExpr(x.L); err != nil {
+		return err
+	}
+	if err := c.checkExpr(x.R); err != nil {
+		return err
+	}
+	if !isLvalue(x.L) {
+		return errAt(x.Line, x.Col, "assignment to non-lvalue")
+	}
+	lt := x.L.Type()
+	if lt.Kind == TArray {
+		return errAt(x.Line, x.Col, "assignment to array")
+	}
+	rt := x.R.Type()
+	if x.Op == "=" {
+		if !assignable(lt, rt) {
+			return errAt(x.Line, x.Col, "cannot assign %s to %s", rt, lt)
+		}
+	} else {
+		op := x.Op[:len(x.Op)-1]
+		switch op {
+		case "+", "-":
+			if lt.Kind == TPtr {
+				if !rt.IsInteger() {
+					return errAt(x.Line, x.Col, "%s on %s and %s", x.Op, lt, rt)
+				}
+			} else if !lt.IsArith() || !rt.IsArith() {
+				return errAt(x.Line, x.Col, "%s on %s and %s", x.Op, lt, rt)
+			}
+		case "*", "/":
+			if !lt.IsArith() || !rt.IsArith() {
+				return errAt(x.Line, x.Col, "%s on %s and %s", x.Op, lt, rt)
+			}
+		default: // %, &, |, ^, <<, >>
+			if !lt.IsInteger() || !rt.IsInteger() {
+				return errAt(x.Line, x.Col, "%s on %s and %s", x.Op, lt, rt)
+			}
+		}
+	}
+	x.setType(lt)
+	return nil
+}
+
+// isLvalue reports whether e denotes a storage location.
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Sym != nil && x.Sym.Kind != SymFunc
+	case *Index:
+		return true
+	case *Unary:
+		return x.Op == "*"
+	}
+	return false
+}
+
+// Compile is the front-end convenience: parse + check.
+func Compile(src string) (*Unit, error) {
+	u, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(u); err != nil {
+		return nil, err
+	}
+	return u, nil
+}

@@ -1,0 +1,203 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+)
+
+func compile(t *testing.T, src string) *Unit {
+	t.Helper()
+	u, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v\nsource:\n%s", err, src)
+	}
+	return u
+}
+
+func mustFail(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Compile(src)
+	if err == nil {
+		t.Errorf("Compile(%q) should fail (want %q)", src, wantSub)
+		return
+	}
+	if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+		t.Errorf("Compile(%q) error = %q, want substring %q", src, err, wantSub)
+	}
+}
+
+func TestCheckResolvesSymbols(t *testing.T) {
+	u := compile(t, `
+int g;
+int f(int a) {
+    int b = a + g;
+    return b;
+}
+`)
+	fn := u.Funcs[0]
+	if len(fn.Locals) != 2 {
+		t.Fatalf("locals = %d", len(fn.Locals))
+	}
+	if fn.Locals[0].Kind != SymParam || fn.Locals[1].Kind != SymLocal {
+		t.Errorf("local kinds wrong: %v %v", fn.Locals[0].Kind, fn.Locals[1].Kind)
+	}
+	if fn.Locals[0].Index != 0 || fn.Locals[1].Index != 1 {
+		t.Errorf("indices wrong")
+	}
+}
+
+func TestCheckScoping(t *testing.T) {
+	compile(t, `
+int x;
+void f(void) {
+    int x;
+    { int x; x = 1; }
+    x = 2;
+}
+`)
+	mustFail(t, `void f(void) { { int y; } y = 1; }`, "undeclared")
+	mustFail(t, `void f(void) { int x; int x; }`, "redefinition")
+	mustFail(t, `int x; int x;`, "redefinition")
+	mustFail(t, `void f(int a, int a) { }`, "duplicate parameter")
+	// for-init declarations scope only over the loop
+	mustFail(t, `void f(void) { for (int i = 0; i < 3; i++) ; i = 1; }`, "undeclared")
+}
+
+func TestCheckTypes(t *testing.T) {
+	u := compile(t, `
+float h(float x) { return x * 2; }
+int f(char c, float x) {
+    int i = c;       // char -> int
+    float y = i;     // int -> float
+    c = i;           // int -> char
+    return (int)(x + y) + h(i);
+}
+`)
+	_ = u
+	mustFail(t, `void f(int *p, float *q) { p = q; }`, "cannot assign")
+	mustFail(t, `void f(void) { 1 = 2; }`, "non-lvalue")
+	mustFail(t, `int f(void) { return "s"; }`, "cannot return")
+	mustFail(t, `void f(float x) { x % 2.0; }`, "float")
+	mustFail(t, `void f(float x) { x & 1; }`, "")
+	mustFail(t, `void f(int x) { y + 1; }`, "undeclared")
+	mustFail(t, `void f(void) { g(); }`, "undeclared function")
+	mustFail(t, `int g; void f(void) { g(); }`, "not a function")
+}
+
+func TestCheckPointerOps(t *testing.T) {
+	compile(t, `
+int a[10];
+int f(int *p) {
+    p = a;            // array decay
+    p = p + 3;
+    p++;
+    return p - a + *p + p[2] + (p != 0) + (p < a);
+}
+`)
+	mustFail(t, `void f(int *p) { p * 2; }`, "")
+	mustFail(t, `void f(int x) { *x; }`, "dereference")
+	mustFail(t, `void f(void) { &5; }`, "lvalue")
+	mustFail(t, `int a[3]; int b[3]; void f(void) { a = b; }`, "array")
+}
+
+func TestCheckCalls(t *testing.T) {
+	compile(t, `
+int add(int a, int b) { return a + b; }
+int f(void) { return add(1, 2); }
+`)
+	mustFail(t, `int add(int a, int b) { return a+b; } int f(void) { return add(1); }`, "expects 2 arguments")
+	mustFail(t, `int g(int *p) { return 0; } int f(void) { return g(5); }`, "argument 1")
+}
+
+func TestCheckControl(t *testing.T) {
+	mustFail(t, `void f(void) { break; }`, "break outside")
+	mustFail(t, `void f(void) { continue; }`, "continue outside")
+	mustFail(t, `void f(void) { switch (1) { case 0: continue; } }`, "continue outside")
+	compile(t, `void f(void) { while (1) switch (1) { case 0: break; } }`)
+	mustFail(t, `void f(void) { switch (1) { case 1: ; case 1: ; } }`, "duplicate case")
+	mustFail(t, `void f(void) { switch (1) { default: ; default: ; } }`, "multiple default")
+	mustFail(t, `void f(float x) { switch (x) { } }`, "must be integer")
+	mustFail(t, `int f(void) { return; }`, "return without value")
+	mustFail(t, `void f(void) { return 1; }`, "return with value")
+}
+
+func TestCheckBuiltins(t *testing.T) {
+	compile(t, `
+void f(void) {
+    int c = getchar();
+    putchar(c);
+    putfloat(1.5);
+    exit(0);
+}
+`)
+	mustFail(t, `void f(void) { putchar(); }`, "expects 1 arguments")
+}
+
+func TestCheckStringLabels(t *testing.T) {
+	u := compile(t, `
+char *a = "one";
+void f(void) { char *b = "two"; char *c = "three"; }
+`)
+	if len(u.Strings) != 3 {
+		t.Fatalf("strings = %d", len(u.Strings))
+	}
+	seen := map[string]bool{}
+	for _, s := range u.Strings {
+		if s.Label == "" || seen[s.Label] {
+			t.Errorf("bad label %q", s.Label)
+		}
+		seen[s.Label] = true
+		if s.Type().Kind != TPtr || s.Type().Elem.Kind != TChar {
+			t.Errorf("string type = %s", s.Type())
+		}
+	}
+}
+
+func TestCheckGlobalInits(t *testing.T) {
+	compile(t, `
+int a = 5;
+float pi = 3.14;
+int v[3] = {1, 2, 3};
+char s[8] = "abc";
+char *p = "xyz";
+int m[2][2] = {{1,2},{3,4}};
+`)
+	mustFail(t, `int v[2] = {1,2,3};`, "too many initializers")
+	mustFail(t, `int x = {1};`, "brace initializer")
+	mustFail(t, `int *p = 3.5;`, "cannot initialize")
+}
+
+func TestCheckTernary(t *testing.T) {
+	compile(t, `
+int f(int a, int *p) {
+    int x = a ? 1 : 2;
+    float y = a ? 1.5 : 2;
+    int *q = a ? p : 0;
+    return x + (int)y + *q;
+}
+`)
+	mustFail(t, `int f(int a, int *p, float *q) { a ? p : q; return 0; }`, "incompatible ternary")
+}
+
+func TestTypeHelpers(t *testing.T) {
+	if IntType.Size() != 4 || CharType.Size() != 1 || FloatType.Size() != 8 {
+		t.Error("primitive sizes wrong")
+	}
+	arr := ArrayOf(IntType, 10)
+	if arr.Size() != 40 || arr.Align() != 4 {
+		t.Error("array size/align wrong")
+	}
+	m := ArrayOf(ArrayOf(FloatType, 3), 2)
+	if m.Size() != 48 || m.Align() != 8 {
+		t.Errorf("2D float array size=%d align=%d", m.Size(), m.Align())
+	}
+	if !PtrTo(IntType).Same(PtrTo(IntType)) || PtrTo(IntType).Same(PtrTo(CharType)) {
+		t.Error("Same wrong for pointers")
+	}
+	if arr.Decay().Kind != TPtr {
+		t.Error("decay wrong")
+	}
+	if arr.String() != "int[10]" || PtrTo(CharType).String() != "char*" {
+		t.Errorf("String: %s %s", arr, PtrTo(CharType))
+	}
+}

@@ -1,0 +1,142 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies MC types.
+type TypeKind int
+
+const (
+	TVoid  TypeKind = iota
+	TInt            // 32-bit signed
+	TChar           // 8-bit signed
+	TFloat          // 64-bit IEEE
+	TPtr
+	TArray
+	TFunc
+)
+
+// Type is an MC type. Types are interned only structurally; compare with
+// Same, not ==.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type   // TPtr, TArray
+	Len    int     // TArray
+	Ret    *Type   // TFunc
+	Params []*Type // TFunc
+}
+
+// Primitive singletons.
+var (
+	VoidType  = &Type{Kind: TVoid}
+	IntType   = &Type{Kind: TInt}
+	CharType  = &Type{Kind: TChar}
+	FloatType = &Type{Kind: TFloat}
+)
+
+// PtrTo returns the type "pointer to e".
+func PtrTo(e *Type) *Type { return &Type{Kind: TPtr, Elem: e} }
+
+// ArrayOf returns the type "array of n e".
+func ArrayOf(e *Type, n int) *Type { return &Type{Kind: TArray, Elem: e, Len: n} }
+
+// Size returns the storage size of the type in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TInt, TPtr:
+		return 4
+	case TChar:
+		return 1
+	case TFloat:
+		return 8
+	case TArray:
+		return t.Len * t.Elem.Size()
+	}
+	return 0
+}
+
+// Align returns the required alignment in bytes.
+func (t *Type) Align() int {
+	switch t.Kind {
+	case TInt, TPtr:
+		return 4
+	case TChar:
+		return 1
+	case TFloat:
+		return 8
+	case TArray:
+		return t.Elem.Align()
+	}
+	return 1
+}
+
+// IsInteger reports whether t is int or char.
+func (t *Type) IsInteger() bool { return t.Kind == TInt || t.Kind == TChar }
+
+// IsArith reports whether t is a numeric type.
+func (t *Type) IsArith() bool { return t.IsInteger() || t.Kind == TFloat }
+
+// IsScalar reports whether t can appear in a boolean context.
+func (t *Type) IsScalar() bool { return t.IsArith() || t.Kind == TPtr }
+
+// Same reports structural type equality.
+func (t *Type) Same(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TPtr:
+		return t.Elem.Same(u.Elem)
+	case TArray:
+		return t.Len == u.Len && t.Elem.Same(u.Elem)
+	case TFunc:
+		if !t.Ret.Same(u.Ret) || len(t.Params) != len(u.Params) {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Same(u.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TChar:
+		return "char"
+	case TFloat:
+		return "float"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case TFunc:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.String())
+		}
+		return fmt.Sprintf("%s(%s)", t.Ret, strings.Join(ps, ","))
+	}
+	return "?"
+}
+
+// Decay converts array types to pointer types (array-to-pointer decay in
+// expression contexts).
+func (t *Type) Decay() *Type {
+	if t.Kind == TArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}

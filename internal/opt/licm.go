@@ -1,0 +1,157 @@
+package opt
+
+import "branchreg/internal/ir"
+
+// Loop-invariant code motion (the paper's §10 "conventional optimizations
+// of code motion"): pure, non-trapping instructions whose operands are not
+// defined inside a loop move to the loop preheader. This benefits both
+// machines equally — notably the two-instruction global address
+// materializations inside loops.
+
+// licm hoists invariant instructions; returns whether anything moved.
+// Requires up-to-date CFG/loop analysis (runs its own Analyze first).
+func licm(f *ir.Func) bool {
+	if err := f.Analyze(); err != nil {
+		return false
+	}
+	changed := false
+	// Innermost loops first (Analyze sorts loops outermost-first).
+	for i := len(f.Loops) - 1; i >= 0; i-- {
+		if hoistLoop(f, f.Loops[i]) {
+			changed = true
+			// Block contents changed; recompute analyses for outer loops.
+			if err := f.Analyze(); err != nil {
+				return changed
+			}
+		}
+	}
+	return changed
+}
+
+// hoistLoop moves invariant instructions of one loop into its preheader.
+func hoistLoop(f *ir.Func, l *ir.Loop) bool {
+	if l.Preheader == nil {
+		return false
+	}
+	// Deterministic block order (map iteration would make the hoisted
+	// instruction order, and thus the output binary, vary run to run).
+	var blocks []*ir.Block
+	for _, b := range f.Blocks {
+		if l.Blocks[b] {
+			blocks = append(blocks, b)
+		}
+	}
+	// Count integer/float register definitions inside the loop.
+	intDefs := map[ir.Reg]int{}
+	fltDefs := map[ir.Reg]int{}
+	for _, b := range blocks {
+		for i := range b.Ins {
+			di, df := b.Ins[i].Defs()
+			if di != ir.None {
+				intDefs[di]++
+			}
+			if df != ir.None {
+				fltDefs[df]++
+			}
+		}
+	}
+	intLive, fltLive := f.ComputeLiveness()
+	headIdx := l.Header.Index
+
+	invariantI := map[ir.Reg]bool{} // regs whose single in-loop def was hoisted
+	invariantF := map[ir.Reg]bool{}
+
+	sourcesInvariant := func(in *ir.Ins) bool {
+		var is, fs []ir.Reg
+		is, fs = in.Uses(is, fs)
+		for _, r := range is {
+			if intDefs[r] > 0 && !invariantI[r] {
+				return false
+			}
+		}
+		for _, r := range fs {
+			if fltDefs[r] > 0 && !invariantF[r] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Hoisting a value extends its live range over the entire loop, which
+	// is expensive on a machine with few registers (the BRM has 16). Only
+	// expensive materializations are worth that cost, and only a few per
+	// loop — an unbudgeted LICM pass measurably *hurts* the 16-register
+	// machine by flooding the allocator with loop-spanning values.
+	intBudget, fltBudget := licmIntBudget, licmFltBudget
+
+	var hoisted []ir.Ins
+	changed := true
+	moved := false
+	for changed {
+		changed = false
+		for _, b := range blocks {
+			kept := b.Ins[:0]
+			for i := range b.Ins {
+				in := b.Ins[i]
+				if !worthHoisting(&in) || !sourcesInvariant(&in) {
+					kept = append(kept, in)
+					continue
+				}
+				di, df := in.Defs()
+				ok := false
+				switch {
+				case di != ir.None && intBudget > 0 &&
+					intDefs[di] == 1 && !intLive.In[headIdx].Has(di):
+					invariantI[di] = true
+					intBudget--
+					ok = true
+				case df != ir.None && fltBudget > 0 &&
+					fltDefs[df] == 1 && !fltLive.In[headIdx].Has(df):
+					invariantF[df] = true
+					fltBudget--
+					ok = true
+				}
+				if !ok {
+					kept = append(kept, in)
+					continue
+				}
+				hoisted = append(hoisted, in)
+				changed = true
+				moved = true
+			}
+			b.Ins = kept
+		}
+	}
+	if !moved {
+		return false
+	}
+	// Insert the hoisted instructions before the preheader's terminator,
+	// preserving their dependency order (they were collected in a legal
+	// order because each became "invariant" only after its sources did).
+	ph := l.Preheader
+	term := ph.Ins[len(ph.Ins)-1]
+	ph.Ins = append(ph.Ins[:len(ph.Ins)-1], append(hoisted, term)...)
+	return true
+}
+
+// Per-loop hoisting budgets (see the register-pressure note above).
+const (
+	licmIntBudget = 3
+	licmFltBudget = 2
+)
+
+// worthHoisting reports whether the instruction is both safe to move
+// (pure, non-trapping, not a load) and expensive enough to justify a
+// loop-spanning register: address materializations (two instructions on
+// both machines), float-constant loads, and large integer constants.
+func worthHoisting(in *ir.Ins) bool {
+	switch in.Kind {
+	case ir.OpAddr, ir.OpSlotAddr, ir.OpConstF:
+		return true
+	case ir.OpConst:
+		// Cheap constants rematerialize in one instruction; only large
+		// ones take a sethi/add pair.
+		return in.Imm < -2048 || in.Imm > 2047
+	}
+	return false
+}

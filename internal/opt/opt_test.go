@@ -1,0 +1,364 @@
+package opt
+
+import (
+	"testing"
+
+	"branchreg/internal/ir"
+	"branchreg/internal/irexec"
+	"branchreg/internal/irgen"
+	"branchreg/internal/mc"
+)
+
+func lower(t *testing.T, src string) *ir.Unit {
+	t.Helper()
+	u, err := mc.Compile(src)
+	if err != nil {
+		t.Fatalf("front end: %v", err)
+	}
+	iu, err := irgen.Lower(u)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	return iu
+}
+
+func countIns(u *ir.Unit) int {
+	n := 0
+	for _, f := range u.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Ins)
+		}
+	}
+	return n
+}
+
+// Programs whose behavior must be identical before and after optimization.
+var semanticsPrograms = []struct {
+	name, src, input, wantOut string
+	wantStatus                int32
+}{
+	{"arith", `int main(void) { int a = 6; int b = a * 7; return b - (a << 1) + 12 / 4; }`, "", "", 33},
+	{"loop", `int main(void) { int s = 0; for (int i = 0; i < 20; i++) s += i & 3; return s; }`, "", "", 30},
+	{"calls", `
+int sq(int x) { return x * x; }
+int main(void) { int t = 0; for (int i = 1; i <= 5; i++) t += sq(i); return t % 100; }`, "", "", 55},
+	{"io", `
+int main(void) {
+    int c;
+    while ((c = getchar()) != -1) putchar(c == ' ' ? '_' : c);
+    return 0;
+}`, "a b c", "a_b_c", 0},
+	{"globals", `
+int acc = 0;
+void add(int v) { acc += v; }
+int main(void) { add(3); add(4); return acc; }`, "", "", 7},
+	{"floats", `
+float area(float r) { return 3.0 * r * r; }
+int main(void) { return (int)area(4.0); }`, "", "", 48},
+	{"memory", `
+int buf[16];
+int main(void) {
+    for (int i = 0; i < 16; i++) buf[i] = i;
+    int s = 0;
+    for (int i = 0; i < 16; i += 2) s += buf[i];
+    return s;
+}`, "", "", 56},
+	{"switch", `
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 6; i++)
+        switch (i) {
+        case 0: s += 1; break;
+        case 2: s += 4; break;
+        case 4: s += 16; break;
+        default: s += 100; break;
+        }
+    return s % 256;
+}`, "", "", (1 + 4 + 16 + 300) % 256},
+	{"deadbranch", `int main(void) { if (0) return 9; if (1) return 5; return 7; }`, "", "", 5},
+}
+
+func TestOptimizationPreservesSemantics(t *testing.T) {
+	for _, p := range semanticsPrograms {
+		t.Run(p.name, func(t *testing.T) {
+			iu := lower(t, p.src)
+			outBefore, stBefore, err := irexec.RunSource(iu, p.input)
+			if err != nil {
+				t.Fatalf("before: %v", err)
+			}
+			if err := RunUnit(iu, Default); err != nil {
+				t.Fatalf("opt: %v", err)
+			}
+			for _, f := range iu.Funcs {
+				if err := f.Verify(); err != nil {
+					t.Fatalf("verify after opt: %v\n%s", err, f)
+				}
+			}
+			outAfter, stAfter, err := irexec.RunSource(iu, p.input)
+			if err != nil {
+				t.Fatalf("after: %v", err)
+			}
+			if outBefore != outAfter || stBefore != stAfter {
+				t.Errorf("optimization changed behavior: (%q,%d) -> (%q,%d)",
+					outBefore, stBefore, outAfter, stAfter)
+			}
+			if p.wantOut != "" && outAfter != p.wantOut {
+				t.Errorf("out = %q, want %q", outAfter, p.wantOut)
+			}
+			if stAfter != p.wantStatus {
+				t.Errorf("status = %d, want %d", stAfter, p.wantStatus)
+			}
+		})
+	}
+}
+
+func TestOptimizationShrinksCode(t *testing.T) {
+	iu := lower(t, `
+int a[10];
+int main(void) {
+    int x = 2 + 3;          // constant folds
+    int y = x;              // copy propagates
+    a[4] = y + 0;           // identity add
+    a[4] = a[4];            // redundant load/store pair stays, but address calc CSEs
+    int unused = x * 99;    // dead
+    return a[4] + y - 5;
+}`)
+	before := countIns(iu)
+	if err := RunUnit(iu, Default); err != nil {
+		t.Fatal(err)
+	}
+	after := countIns(iu)
+	if after >= before {
+		t.Errorf("optimization did not shrink code: %d -> %d", before, after)
+	}
+	_, st, err := irexec.RunSource(iu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 5 {
+		t.Errorf("status = %d, want 5", st)
+	}
+}
+
+func TestConstantBranchFolding(t *testing.T) {
+	iu := lower(t, `int main(void) { if (2 > 1) return 4; return 9; }`)
+	if err := RunUnit(iu, Default); err != nil {
+		t.Fatal(err)
+	}
+	// After folding there must be no conditional branches left.
+	for _, b := range iu.Funcs[0].Blocks {
+		if tm := b.Term(); tm != nil && (tm.Kind == ir.OpBr || tm.Kind == ir.OpBrF) {
+			t.Errorf("conditional branch survived constant folding: %s", tm)
+		}
+	}
+}
+
+func TestDCERemovesDeadLoads(t *testing.T) {
+	iu := lower(t, `
+int g = 3;
+int main(void) {
+    int dead = g;  // load with unused result
+    return 1;
+}`)
+	if err := RunUnit(iu, Default); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range iu.Funcs[0].Blocks {
+		for i := range b.Ins {
+			if b.Ins[i].Kind == ir.OpLoad {
+				t.Errorf("dead load survived: %s", &b.Ins[i])
+			}
+		}
+	}
+}
+
+func TestCSEMergesAddressCalcs(t *testing.T) {
+	iu := lower(t, `
+int g[4];
+int main(void) { g[1] = 5; g[2] = 6; return g[1] + g[2]; }`)
+	if err := RunUnit(iu, Default); err != nil {
+		t.Fatal(err)
+	}
+	// All four accesses share one &g computation after CSE+copyprop.
+	addrs := 0
+	for _, b := range iu.Funcs[0].Blocks {
+		for i := range b.Ins {
+			if b.Ins[i].Kind == ir.OpAddr && b.Ins[i].Sym == "g" {
+				addrs++
+			}
+		}
+	}
+	if addrs != 1 {
+		t.Errorf("&g computed %d times, want 1", addrs)
+	}
+	_, st, err := irexec.RunSource(iu, "")
+	if err != nil || st != 11 {
+		t.Errorf("status = %d (%v), want 11", st, err)
+	}
+}
+
+func TestCallsBlockLoadCSE(t *testing.T) {
+	iu := lower(t, `
+int g = 1;
+void bump(void) { g++; }
+int main(void) { int a = g; bump(); int b = g; return a * 10 + b; }`)
+	if err := RunUnit(iu, Default); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := irexec.RunSource(iu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 12 {
+		t.Errorf("status = %d, want 12 (load CSE across call is unsound)", st)
+	}
+}
+
+func TestStoresBlockLoadCSE(t *testing.T) {
+	iu := lower(t, `
+int g = 1;
+int main(void) { int a = g; g = 7; int b = g; return a * 10 + b; }`)
+	if err := RunUnit(iu, Default); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := irexec.RunSource(iu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 17 {
+		t.Errorf("status = %d, want 17 (load CSE across store is unsound)", st)
+	}
+}
+
+func TestOptionsGranularity(t *testing.T) {
+	// Running with no passes must leave behavior and code intact.
+	iu := lower(t, `int main(void) { int x = 1 + 2; return x; }`)
+	before := countIns(iu)
+	if err := RunUnit(iu, None); err != nil {
+		t.Fatal(err)
+	}
+	if countIns(iu) != before {
+		t.Error("None options changed the code")
+	}
+	_, st, err := irexec.RunSource(iu, "")
+	if err != nil || st != 3 {
+		t.Errorf("status = %d (%v)", st, err)
+	}
+}
+
+func licmOptions() Options {
+	o := Default
+	o.LICM = true
+	return o
+}
+
+func TestLICMHoistsInvariants(t *testing.T) {
+	iu := lower(t, `
+int g;
+int main(void) {
+    int s = 0;
+    int a = getchar();
+    for (int i = 0; i < 50; i++) {
+        s += a * 3 + g;   // a*3 is invariant; &g is invariant
+        s += i;
+    }
+    return s & 255;
+}`)
+	before, st0, err := irexec.RunSource(iu, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunUnit(iu, licmOptions()); err != nil {
+		t.Fatal(err)
+	}
+	after, st1, err := irexec.RunSource(iu, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after || st0 != st1 {
+		t.Fatalf("LICM changed behavior: (%q,%d) vs (%q,%d)", before, st0, after, st1)
+	}
+	// The invariant address materialization (&g, a two-instruction
+	// sethi/add on both machines) must have left the loop body. Cheap ALU
+	// ops deliberately stay (hoisting them floods the 16-register machine
+	// with loop-spanning live ranges).
+	f := iu.Funcs[0]
+	if err := f.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range f.Loops {
+		for b := range l.Blocks {
+			for i := range b.Ins {
+				in := &b.Ins[i]
+				if in.Kind == ir.OpAddr {
+					t.Errorf("invariant address calc still in loop block %s: %s", b.Label, in)
+				}
+			}
+		}
+	}
+}
+
+func TestLICMRespectsVariantValues(t *testing.T) {
+	// i*2 depends on the induction variable: must NOT hoist.
+	iu := lower(t, `
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 10; i++) s += i * 2;
+    return s;
+}`)
+	if err := RunUnit(iu, licmOptions()); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := irexec.RunSource(iu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 90 {
+		t.Errorf("status = %d, want 90", st)
+	}
+}
+
+func TestLICMKeepsDivisionInPlace(t *testing.T) {
+	// The division is invariant but only executes when d != 0: hoisting it
+	// would fault. Semantics must be preserved.
+	iu := lower(t, `
+int main(void) {
+    int d = getchar() - 'x';  // 0 for input "x"
+    int s = 0;
+    for (int i = 0; i < 5; i++) {
+        if (d != 0) s += 100 / d;
+        s += 1;
+    }
+    return s;
+}`)
+	if err := RunUnit(iu, licmOptions()); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := irexec.RunSource(iu, "x")
+	if err != nil {
+		t.Fatalf("hoisted a guarded division: %v", err)
+	}
+	if st != 5 {
+		t.Errorf("status = %d, want 5", st)
+	}
+}
+
+func TestLICMSemanticsOnPrograms(t *testing.T) {
+	for _, p := range semanticsPrograms {
+		iu := lower(t, p.src)
+		outB, stB, err := irexec.RunSource(iu, p.input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunUnit(iu, licmOptions()); err != nil {
+			t.Fatal(err)
+		}
+		outA, stA, err := irexec.RunSource(iu, p.input)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if outA != outB || stA != stB {
+			t.Errorf("%s: LICM changed behavior", p.name)
+		}
+	}
+}

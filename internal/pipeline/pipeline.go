@@ -1,0 +1,156 @@
+// Package pipeline implements the paper's pipeline timing analysis:
+// the analytic cycle model of §7 (delays per transfer of control for the
+// baseline machine's delayed branches versus the branch-register machine's
+// prefetched targets), the delay tables of Figures 5 and 7, the
+// prefetch-distance rule of Figure 9, and a symbolic pipeline tracer that
+// reproduces the stage-by-stage action tables of Figures 6 and 8.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"branchreg/internal/emu"
+)
+
+// Model is an N-stage pipeline (N >= 3; the paper uses 3 and 4).
+type Model struct {
+	Stages int
+	// FastCompare models the §9 alternative where the compare tests its
+	// condition during decode and updates the PC directly, removing the
+	// N-3 conditional-transfer delay.
+	FastCompare bool
+}
+
+// BaselineTransferDelay is the bubble per executed transfer of control on
+// the baseline machine with a one-instruction delayed branch: N-2 (paper
+// §6, Figures 5b/7b).
+func (m Model) BaselineTransferDelay() int64 {
+	d := int64(m.Stages - 2)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// NoDelayTransferDelay is the bubble per transfer on a conventional
+// machine without delayed branches: N-1 (Figures 5a/7a).
+func (m Model) NoDelayTransferDelay() int64 {
+	d := int64(m.Stages - 1)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// BRMCondDelay is the bubble per conditional transfer on the
+// branch-register machine: N-3, because the target instruction register is
+// selected by the compare's execute stage (Figure 7c). With the §9 fast
+// compare the selection happens during decode and the delay vanishes.
+func (m Model) BRMCondDelay() int64 {
+	if m.FastCompare {
+		return 0
+	}
+	d := int64(m.Stages - 3)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// BaselineCycles estimates total cycles for a baseline run: one cycle per
+// instruction plus the branch bubble for every executed transfer (the
+// paper's §7 estimate charges every transfer, taken or not).
+func (m Model) BaselineCycles(s *emu.Stats) int64 {
+	return s.Instructions + m.BaselineTransferDelay()*s.Transfers()
+}
+
+// BRMCycles estimates total cycles for a branch-register machine run:
+// one cycle per instruction, N-3 per conditional transfer, plus the
+// prefetch-distance penalty for taken transfers whose target address was
+// calculated fewer than MinPrefetchDist instructions earlier (Figure 9).
+func (m Model) BRMCycles(s *emu.Stats) int64 {
+	cycles := s.Instructions
+	cycles += m.BRMCondDelay() * s.CondBranches
+	cycles += PrefetchPenalty(s)
+	return cycles
+}
+
+// PrefetchPenalty sums the late-calculation delay cycles: a taken transfer
+// whose target calc happened d < MinPrefetchDist instructions before it
+// stalls MinPrefetchDist-d cycles waiting for the instruction register.
+func PrefetchPenalty(s *emu.Stats) int64 {
+	var p int64
+	for d := 0; d < emu.MinPrefetchDist; d++ {
+		p += int64(emu.MinPrefetchDist-d) * s.DistHist[d]
+	}
+	return p
+}
+
+// DelayTable is one row of Figures 5/7: delays per transfer kind for the
+// three machine organizations at a given stage count.
+type DelayTable struct {
+	Stages     int
+	NoDelay    int64 // conventional machine, no delayed branch
+	Delayed    int64 // baseline: one-slot delayed branch
+	BranchRegs int64 // branch-register machine (prefetched target)
+}
+
+// Figure5 returns the unconditional-transfer delay table for the given
+// pipeline depths (paper Figure 5: N-1, N-2, 0).
+func Figure5(stages []int) []DelayTable {
+	var out []DelayTable
+	for _, n := range stages {
+		m := Model{Stages: n}
+		out = append(out, DelayTable{
+			Stages:     n,
+			NoDelay:    m.NoDelayTransferDelay(),
+			Delayed:    m.BaselineTransferDelay(),
+			BranchRegs: 0,
+		})
+	}
+	return out
+}
+
+// Figure7 returns the conditional-transfer delay table (paper Figure 7:
+// N-1, N-2, N-3).
+func Figure7(stages []int) []DelayTable {
+	var out []DelayTable
+	for _, n := range stages {
+		m := Model{Stages: n}
+		out = append(out, DelayTable{
+			Stages:     n,
+			NoDelay:    m.NoDelayTransferDelay(),
+			Delayed:    m.BaselineTransferDelay(),
+			BranchRegs: m.BRMCondDelay(),
+		})
+	}
+	return out
+}
+
+// FormatDelayTables renders delay tables as the paper-style comparison.
+func FormatDelayTables(title string, ts []DelayTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %-10s %-14s %-16s\n", "stages", "no delay", "delayed branch", "branch registers")
+	for _, t := range ts {
+		fmt.Fprintf(&b, "%-8d %-10d %-14d %-16d\n", t.Stages, t.NoDelay, t.Delayed, t.BranchRegs)
+	}
+	return b.String()
+}
+
+// MinCalcDistance returns the minimum number of instructions that must
+// separate a branch target address calculation from its transfer so the
+// prefetched instruction is ready for decode, given a one-cycle cache
+// access (paper Figure 9). For the three-stage pipeline this is 2.
+func MinCalcDistance(stages, cacheCycles int) int {
+	// The calc completes at the end of its execute stage; the instruction
+	// must be in the instruction register before the transfer's decode
+	// ends. With E = stage `stages`-1 (0-based F=0) and a cacheCycles
+	// fetch, the separation must be at least cacheCycles+1 instructions.
+	d := cacheCycles + 1
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"branchreg/internal/emu"
+)
+
+func TestDelayFormulas(t *testing.T) {
+	m3 := Model{Stages: 3}
+	if m3.NoDelayTransferDelay() != 2 || m3.BaselineTransferDelay() != 1 || m3.BRMCondDelay() != 0 {
+		t.Errorf("3-stage delays wrong: %d %d %d",
+			m3.NoDelayTransferDelay(), m3.BaselineTransferDelay(), m3.BRMCondDelay())
+	}
+	m4 := Model{Stages: 4}
+	if m4.NoDelayTransferDelay() != 3 || m4.BaselineTransferDelay() != 2 || m4.BRMCondDelay() != 1 {
+		t.Errorf("4-stage delays wrong")
+	}
+	m5 := Model{Stages: 5}
+	if m5.BRMCondDelay() != 2 {
+		t.Errorf("5-stage BRM cond delay = %d", m5.BRMCondDelay())
+	}
+}
+
+func TestFigure5And7Tables(t *testing.T) {
+	f5 := Figure5([]int{3, 4, 5})
+	for _, row := range f5 {
+		if row.BranchRegs != 0 {
+			t.Errorf("Figure 5: BRM unconditional delay must be 0 at %d stages, got %d",
+				row.Stages, row.BranchRegs)
+		}
+		if row.NoDelay != int64(row.Stages-1) || row.Delayed != int64(row.Stages-2) {
+			t.Errorf("Figure 5 row wrong: %+v", row)
+		}
+	}
+	f7 := Figure7([]int{3, 4, 5})
+	for _, row := range f7 {
+		if row.BranchRegs != int64(row.Stages-3) {
+			t.Errorf("Figure 7: BRM conditional delay must be N-3: %+v", row)
+		}
+	}
+	s := FormatDelayTables("fig", f5)
+	if !strings.Contains(s, "branch registers") {
+		t.Error("format missing header")
+	}
+}
+
+func TestCycleModel(t *testing.T) {
+	var s emu.Stats
+	s.Instructions = 1000
+	s.UncondJumps = 50
+	s.CondBranches = 100
+	s.Calls = 10
+	s.Returns = 10
+	m3 := Model{Stages: 3}
+	// baseline: 1000 + 1*(50+100+10+10) = 1170
+	if got := m3.BaselineCycles(&s); got != 1170 {
+		t.Errorf("baseline cycles = %d, want 1170", got)
+	}
+	// BRM with perfect prefetch: no delays at 3 stages
+	if got := m3.BRMCycles(&s); got != 1000 {
+		t.Errorf("BRM cycles = %d, want 1000", got)
+	}
+	// Late calcs cost cycles.
+	s.DistHist[0] = 5  // 2 cycles each
+	s.DistHist[1] = 10 // 1 cycle each
+	if got := m3.BRMCycles(&s); got != 1000+20 {
+		t.Errorf("BRM cycles with late calcs = %d, want 1020", got)
+	}
+	// 4-stage: conditional transfers cost N-3 = 1 each.
+	m4 := Model{Stages: 4}
+	if got := m4.BRMCycles(&s); got != 1000+100+20 {
+		t.Errorf("4-stage BRM cycles = %d, want 1120", got)
+	}
+	if got := m4.BaselineCycles(&s); got != 1000+2*170 {
+		t.Errorf("4-stage baseline cycles = %d", got)
+	}
+}
+
+func TestPrefetchPenalty(t *testing.T) {
+	var s emu.Stats
+	s.DistHist[0] = 3
+	s.DistHist[1] = 7
+	s.DistHist[2] = 100 // at the minimum distance: free
+	if got := PrefetchPenalty(&s); got != 3*2+7*1 {
+		t.Errorf("penalty = %d, want 13", got)
+	}
+}
+
+func TestMinCalcDistance(t *testing.T) {
+	if MinCalcDistance(3, 1) != 2 {
+		t.Errorf("Figure 9 distance = %d, want 2", MinCalcDistance(3, 1))
+	}
+	if MinCalcDistance(3, 0) != 1 {
+		t.Errorf("zero-latency cache distance = %d", MinCalcDistance(3, 0))
+	}
+	if MinCalcDistance(3, 1) != emu.MinPrefetchDist {
+		t.Error("emulator constant disagrees with the model")
+	}
+}
+
+// Figure 6: the BRM executes an unconditional transfer with no pipeline
+// bubble — the target decodes the cycle after the jump decodes.
+func TestFigure6NoBubble(t *testing.T) {
+	rows := Figure6()
+	jump, target := rows[0], rows[1]
+	if target.Decode != jump.Decode+1 {
+		t.Errorf("target decode at %d, jump decode at %d: bubble present",
+			target.Decode, jump.Decode)
+	}
+	if target.Fetch != 0 {
+		t.Error("prefetched target must not occupy the fetch stage")
+	}
+	// Back-to-back execution: one instruction completing per cycle.
+	if target.Execute != jump.Execute+1 {
+		t.Errorf("execute stream has a gap: %d then %d", jump.Execute, target.Execute)
+	}
+}
+
+// Figure 8: the BRM conditional transfer also completes with no bubble on
+// a three-stage pipeline — four cycles for compare, jump, target.
+func TestFigure8NoBubble(t *testing.T) {
+	rows := Figure8()
+	cmp, jump, target := rows[0], rows[1], rows[2]
+	if jump.Decode != cmp.Execute {
+		t.Errorf("jump decodes at %d, compare executes at %d: must overlap",
+			jump.Decode, cmp.Execute)
+	}
+	if target.Execute != jump.Execute+1 {
+		t.Errorf("conditional target delayed: jump E=%d target E=%d",
+			jump.Execute, target.Execute)
+	}
+	if target.Decode != jump.Decode+1 {
+		t.Errorf("target decode %d, want %d", target.Decode, jump.Decode+1)
+	}
+}
+
+// Figure 5 traces: the baseline delayed branch has one bubble; the
+// conventional machine has two (three-stage pipeline).
+func TestFigure5Traces(t *testing.T) {
+	delayed := Figure5bTrace()
+	// slot fills one cycle; target fetch waits for branch execute.
+	jump, slot, target := delayed[0], delayed[1], delayed[2]
+	if slot.Fetch != jump.Fetch+1 {
+		t.Error("slot must fetch immediately after the branch")
+	}
+	if target.Fetch != jump.Execute+1 {
+		t.Errorf("delayed-branch target fetch at %d, want %d", target.Fetch, jump.Execute+1)
+	}
+	if target.Execute-jump.Execute != 3 {
+		t.Errorf("delayed branch bubble = %d cycles, want 3 (1 slot + 1 bubble + 1)",
+			target.Execute-jump.Execute)
+	}
+	plain := Figure5aTrace()
+	pj, pt := plain[0], plain[1]
+	if pt.Fetch != pj.Execute+1 {
+		t.Error("plain branch target must wait for execute")
+	}
+	if pt.Execute-pj.Execute != 3 {
+		t.Errorf("plain branch penalty = %d, want 3", pt.Execute-pj.Execute)
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	s := FormatTrace("Figure 6", Figure6())
+	if !strings.Contains(s, "F") || !strings.Contains(s, "D") || !strings.Contains(s, "E") {
+		t.Errorf("trace missing stages:\n%s", s)
+	}
+	// Figure 6: jump E at 3, target E at 4, target+1 E at 5 — fully
+	// pipelined, one completion per cycle.
+	if TotalCycles(Figure6()) != 5 {
+		t.Errorf("Figure 6 total = %d cycles, want 5", TotalCycles(Figure6()))
+	}
+	// Figure 8: compare, jump, target, target+1 complete in consecutive
+	// cycles 3..6.
+	if TotalCycles(Figure8()) != 6 {
+		t.Errorf("Figure 8 total = %d cycles, want 6", TotalCycles(Figure8()))
+	}
+}

@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"testing"
+
+	"branchreg/internal/driver"
+	"branchreg/internal/isa"
+)
+
+const simProgram = `
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 200; i++) {
+        if (i % 3 == 0) s += i;
+        else s -= 1;
+    }
+    return s & 255;
+}
+`
+
+func compileFor(t *testing.T, kind isa.Kind) *isa.Program {
+	t.Helper()
+	p, err := driver.Compile(simProgram, kind, driver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSimulateBaseline(t *testing.T) {
+	p := compileFor(t, isa.Baseline)
+	sim, err := Simulate(p, "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Cycles <= sim.Instructions {
+		t.Errorf("baseline must have bubbles: %d cycles, %d instructions",
+			sim.Cycles, sim.Instructions)
+	}
+	if sim.CPI() <= 1.0 || sim.CPI() > 2.0 {
+		t.Errorf("implausible CPI %.3f", sim.CPI())
+	}
+	// The aggregate model charges untaken conditionals too, so it must be
+	// at least the simulated count.
+	cmp, err := CompareModel(p, "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.ModelCycles < cmp.SimCycles {
+		t.Errorf("model (%d) below simulation (%d): the every-transfer charge should be an upper bound",
+			cmp.ModelCycles, cmp.SimCycles)
+	}
+	if cmp.OverchargePct < 0 {
+		t.Errorf("overcharge %.2f%%", cmp.OverchargePct)
+	}
+}
+
+func TestSimulateBRM(t *testing.T) {
+	p := compileFor(t, isa.BranchReg)
+	sim3, err := Simulate(p, "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 3 stages the BRM pays only late-calc penalties, which our
+	// scheduler mostly avoids: CPI should be very close to 1.
+	if sim3.CPI() > 1.05 {
+		t.Errorf("BRM 3-stage CPI = %.3f, expected near 1.0", sim3.CPI())
+	}
+	// At 4 stages conditional transfers cost one cycle.
+	sim4, err := Simulate(p, "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim4.Cycles <= sim3.Cycles {
+		t.Errorf("deeper pipeline should cost BRM cycles: %d vs %d", sim4.Cycles, sim3.Cycles)
+	}
+	// The BRM model matches the simulation exactly: both charge N-3 per
+	// conditional and the Figure 9 penalty per late calc.
+	cmp, err := CompareModel(p, "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.ModelCycles != cmp.SimCycles {
+		t.Errorf("BRM model (%d) and simulation (%d) disagree", cmp.ModelCycles, cmp.SimCycles)
+	}
+	if cmp.String() == "" {
+		t.Error("empty comparison string")
+	}
+}
+
+func TestSimulatedSpeedupHolds(t *testing.T) {
+	base := compileFor(t, isa.Baseline)
+	brm := compileFor(t, isa.BranchReg)
+	for _, stages := range []int{3, 4, 5} {
+		sb, err := Simulate(base, "", stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := Simulate(brm, "", stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb.Output != sr.Output || sb.Status != sr.Status {
+			t.Fatalf("machines disagree under simulation")
+		}
+		if sr.Cycles >= sb.Cycles {
+			t.Errorf("%d stages: BRM (%d cycles) not faster than baseline (%d) even in the finer simulation",
+				stages, sr.Cycles, sb.Cycles)
+		}
+	}
+}
+
+func TestSimulateFastCompare(t *testing.T) {
+	o := driver.DefaultOptions()
+	o.BRM.FastCompare = true
+	p, err := driver.Compile(simProgram, isa.BranchReg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal := compileFor(t, isa.BranchReg)
+	// At 4 stages the fast compare removes the N-3 conditional bubble; the
+	// simulation must show fewer bubbles per conditional. (Simulate's
+	// model parameter describes the hardware, so pass FastCompare.)
+	simN, err := Simulate(normal, "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := emuRunFast(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m >= simN.Cycles {
+		t.Errorf("fast compare (%d cycles) not faster than normal (%d) at 4 stages", m, simN.Cycles)
+	}
+}
+
+// emuRunFast simulates with the fast-compare hardware model.
+func emuRunFast(p *isa.Program, stages int) (int64, error) {
+	sim, err := SimulateWith(p, "", Model{Stages: stages, FastCompare: true})
+	if err != nil {
+		return 0, err
+	}
+	return sim.Cycles, nil
+}

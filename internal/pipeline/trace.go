@@ -1,0 +1,213 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The symbolic pipeline tracer reproduces the paper's Figures 6 and 8: for
+// a short instruction sequence it computes which cycle each instruction
+// occupies each stage, under the fetch/decode/execute rules of the two
+// machines with a three-stage pipeline.
+
+// TraceKind classifies instructions for the tracer.
+type TraceKind int
+
+const (
+	KNormal  TraceKind = iota
+	KBrCalc            // BRM: target address calculation (issues prefetch)
+	KCmpBr             // BRM: compare with conditional assignment
+	KJumpBR            // BRM: transfer via a branch register (prefetched)
+	KCondBR            // BRM: conditional transfer via b[7] (follows KCmpBr)
+	KBranch            // baseline branch, no delay slot machine
+	KDelayed           // baseline delayed branch (slot follows)
+	KTargetD           // instruction entered from a prefetched i-register:
+	// starts at decode, no fetch (BRM transfer targets)
+	KTarget // branch target fetched from the cache
+)
+
+// TraceIns is one instruction given to the tracer.
+type TraceIns struct {
+	Label string
+	Kind  TraceKind
+}
+
+// TraceRow is the schedule of one instruction.
+type TraceRow struct {
+	Label   string
+	Fetch   int // cycle of the fetch stage; 0 = stage skipped (i-register)
+	Decode  int
+	Execute int
+}
+
+// Trace computes a three-stage schedule. The rules:
+//
+//   - a normal instruction fetches the cycle after the previous fetch and
+//     flows F→D→E;
+//   - a KTarget (baseline) cannot fetch until the branch that reaches it
+//     has executed;
+//   - a KDelayed branch's slot fetches normally; the target then fetches
+//     after the branch's execute (one bubble on three stages);
+//   - a KTargetD (BRM) enters decode directly from its instruction
+//     register, the cycle after the transferring instruction's decode —
+//     unless it follows a KCmpBr-driven conditional transfer, in which
+//     case its decode must wait for the compare's execute (Figure 8).
+func Trace(seq []TraceIns) []TraceRow {
+	rows := make([]TraceRow, len(seq))
+	prevFetch := 0
+	prevDecode := 0
+	prevExec := 0
+	cmpExec := 0    // execute cycle of the most recent compare
+	branchExec := 0 // execute cycle of the most recent baseline branch
+	transferDecode := 0
+	condTransfer := false
+	for i, in := range seq {
+		var f, d, e int
+		switch in.Kind {
+		case KTargetD:
+			// From the instruction register: no fetch stage. Decode the
+			// cycle after the transfer's decode, but not before the
+			// compare's execute finished for conditional transfers.
+			f = 0
+			d = transferDecode + 1
+			if condTransfer && d < cmpExec+1 {
+				d = cmpExec + 1
+			}
+			e = d + 1
+		case KTarget:
+			// Cannot be fetched until the reaching branch has executed.
+			f = branchExec + 1
+			if f <= prevFetch {
+				f = prevFetch + 1
+			}
+			d = f + 1
+			if d <= prevDecode {
+				d = prevDecode + 1
+			}
+			e = d + 1
+			if e <= prevExec {
+				e = prevExec + 1
+			}
+		default:
+			f = prevFetch + 1
+			d = f + 1
+			if d <= prevDecode {
+				d = prevDecode + 1
+			}
+			e = d + 1
+			if e <= prevExec {
+				e = prevExec + 1
+			}
+		}
+		rows[i] = TraceRow{Label: in.Label, Fetch: f, Decode: d, Execute: e}
+		switch in.Kind {
+		case KCmpBr:
+			cmpExec = e
+			condTransfer = false
+		case KJumpBR:
+			transferDecode = d
+			condTransfer = false
+		case KCondBR:
+			transferDecode = d
+			condTransfer = true
+		case KBranch, KDelayed:
+			branchExec = e
+		}
+		if in.Kind == KTargetD {
+			// The instruction after the target is fetched while the
+			// target decodes (its address comes from the branch register).
+			prevFetch = d - 1
+		} else {
+			prevFetch = f
+		}
+		prevDecode = d
+		prevExec = e
+	}
+	return rows
+}
+
+// Figure6 reproduces the pipeline actions for an unconditional transfer of
+// control on the branch-register machine (paper Figure 6): an add carrying
+// a transfer through b[4], followed by the prefetched target.
+func Figure6() []TraceRow {
+	return Trace([]TraceIns{
+		{Label: "r[1]=r[1]+1; b[0]=b[4]", Kind: KJumpBR},
+		{Label: "TARGET", Kind: KTargetD},
+		{Label: "TARGET+1", Kind: KNormal},
+	})
+}
+
+// Figure8 reproduces the pipeline actions for a conditional transfer on
+// the branch-register machine (paper Figure 8): compare, conditional jump,
+// then the target from the selected instruction register.
+func Figure8() []TraceRow {
+	return Trace([]TraceIns{
+		{Label: "b[7]=r[5]<0->b[3]|b[0]", Kind: KCmpBr},
+		{Label: "r[1]=r[1]+1; b[0]=b[7]", Kind: KCondBR},
+		{Label: "TARGET", Kind: KTargetD},
+		{Label: "TARGET+1", Kind: KNormal},
+	})
+}
+
+// Figure5bTrace shows the baseline delayed branch (paper Figure 5b).
+func Figure5bTrace() []TraceRow {
+	return Trace([]TraceIns{
+		{Label: "JUMP", Kind: KDelayed},
+		{Label: "NEXT (slot)", Kind: KNormal},
+		{Label: "TARGET", Kind: KTarget},
+	})
+}
+
+// Figure5aTrace shows a conventional branch without a delay slot (paper
+// Figure 5a): the target cannot even be fetched until the jump executes.
+func Figure5aTrace() []TraceRow {
+	return Trace([]TraceIns{
+		{Label: "JUMP", Kind: KBranch},
+		{Label: "TARGET", Kind: KTarget},
+	})
+}
+
+// FormatTrace renders rows as a Figure 6/8-style table.
+func FormatTrace(title string, rows []TraceRow) string {
+	last := 0
+	for _, r := range rows {
+		if r.Execute > last {
+			last = r.Execute
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-28s", "instruction \\ cycle")
+	for c := 1; c <= last; c++ {
+		fmt.Fprintf(&b, "%3d", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s", r.Label)
+		for c := 1; c <= last; c++ {
+			s := "  ."
+			switch c {
+			case r.Fetch:
+				s = "  F"
+			case r.Decode:
+				s = "  D"
+			case r.Execute:
+				s = "  E"
+			}
+			b.WriteString(s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TotalCycles returns the cycle in which the last instruction executes.
+func TotalCycles(rows []TraceRow) int {
+	last := 0
+	for _, r := range rows {
+		if r.Execute > last {
+			last = r.Execute
+		}
+	}
+	return last
+}

@@ -1,0 +1,68 @@
+package workloads
+
+// Golden outputs: every workload's output is pinned by hash so silent
+// behavioral changes in the compiler, optimizer, code generators or
+// emulators are caught immediately. Regenerate by running the generator in
+// the commit history (or adapt TestWorkloadsDifferential's reference run)
+// if a workload's source or input intentionally changes.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"branchreg/internal/driver"
+	"branchreg/internal/isa"
+)
+
+type goldenEntry struct {
+	sha    string // first 8 bytes of sha256, hex
+	length int
+	status int32
+}
+
+var goldenOutputs = map[string]goldenEntry{
+	"cal":       {sha: "f2281a04622e31c8", length: 19020, status: 0},
+	"cb":        {sha: "a9ec9db2ffad30b8", length: 7500, status: 0},
+	"compact":   {sha: "d49649db380dc001", length: 2444, status: 0},
+	"diff":      {sha: "ccda19a21baf086b", length: 43, status: 0},
+	"grep":      {sha: "9177c7fa7d6d556d", length: 2809, status: 0},
+	"nroff":     {sha: "9fcdc889b0e4bcec", length: 2412, status: 0},
+	"od":        {sha: "174e83ba8f040a9f", length: 2556, status: 0},
+	"sed":       {sha: "4e3c970eac857082", length: 2412, status: 0},
+	"sort":      {sha: "53da3210677e1289", length: 1422, status: 0},
+	"spline":    {sha: "a35d1c77317f0d8c", length: 12, status: 0},
+	"tr":        {sha: "fe78165655cd4c16", length: 1874, status: 0},
+	"wc":        {sha: "d83e8295385c397d", length: 12, status: 0},
+	"dhrystone": {sha: "75ee8945b841b7ae", length: 7, status: 0},
+	"matmult":   {sha: "49bf6378118cc529", length: 14, status: 0},
+	"puzzle":    {sha: "3e8261681f0417b4", length: 23, status: 0},
+	"sieve":     {sha: "82a7e55c955b8f04", length: 12, status: 0},
+	"whetstone": {sha: "bf3c0cd5fcc87507", length: 12, status: 0},
+	"mincost":   {sha: "4525471d6584229e", length: 10, status: 0},
+	"tinycc":    {sha: "d6fc82df7acf3d35", length: 31, status: 0},
+}
+
+func TestGoldenOutputsPinned(t *testing.T) {
+	o := driver.DefaultOptions()
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			g, ok := goldenOutputs[w.Name]
+			if !ok {
+				t.Fatalf("no golden entry for %s", w.Name)
+			}
+			res, err := driver.Run(w.FullSource(), isa.BranchReg, w.Input, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256([]byte(res.Output))
+			got := fmt.Sprintf("%x", sum[:8])
+			if got != g.sha || len(res.Output) != g.length || res.Status != g.status {
+				t.Errorf("output changed: sha %s len %d status %d, golden sha %s len %d status %d",
+					got, len(res.Output), res.Status, g.sha, g.length, g.status)
+			}
+		})
+	}
+}

@@ -1,0 +1,691 @@
+package workloads
+
+// Benchmark-class and user-code workloads (Appendix I).
+
+const srcDhrystone = `
+// dhrystone: adaptation of the classic synthetic integer benchmark to MC
+// (records become parallel arrays; the dynamic operation mix — assignments,
+// control flow, calls, string compares — follows the original).
+int IntGlob;
+int BoolGlob;
+char Ch1Glob;
+char Ch2Glob;
+int Arr1Glob[50];
+int Arr2Glob[50][50];
+char Str1[32];
+char Str2[32];
+
+// record "Glob": [0]=PtrComp(index), [1]=Discr, [2]=EnumComp, [3]=IntComp
+int RecA[4];
+int RecB[4];
+
+int Func1(int ch1, int ch2) {
+    char c1 = ch1;
+    char c2 = c1;
+    if (c2 != ch2) return 0; // Ident1
+    return 1;
+}
+
+int Func2(char *s1, char *s2) {
+    int i = 1;
+    char c;
+    while (i <= 1) {
+        if (Func1(s1[i], s2[i + 1]) == 0) { c = 'A'; i++; }
+        else break;
+    }
+    if (c >= 'W' && c <= 'Z') i = 7;
+    if (c == 'R') return 1;
+    if (streq(s1, s2)) { IntGlob = i + 7; return 1; }
+    return 0;
+}
+
+int Func3(int e) { return e == 2; }
+
+void Proc6(int e, int *out) {
+    *out = e;
+    if (!Func3(e)) *out = 3;
+    if (e == 0) *out = 0;
+    else if (e == 1) { if (IntGlob > 100) *out = 0; else *out = 3; }
+    else if (e == 2) *out = 1;
+    else if (e == 4) *out = 2;
+}
+
+void Proc7(int a, int b, int *out) { *out = a + 2 + b; }
+
+void Proc8(int *a1, int *a2, int v1, int v2) {
+    int i = v1 + 5;
+    a1[i] = v2;
+    a1[i + 1] = a1[i];
+    a1[i + 30] = i;
+    int j;
+    for (j = i; j <= i + 1; j++) a2[i * 50 + j] = i;
+    a2[i * 50 + i - 1] += 1;
+    a2[(i + 20) * 50 + i] = a1[i];
+    IntGlob = 5;
+}
+
+void Proc3(int *p) {
+    if (RecA[0] != 0) *p = RecA[3];
+    Proc7(10, IntGlob, RecA + 3);
+}
+
+void Proc1(int *rec) {
+    int i;
+    for (i = 0; i < 4; i++) RecB[i] = rec[i];
+    rec[3] = 5;
+    RecB[3] = rec[3];
+    RecB[0] = rec[0];
+    Proc3(RecB);
+    if (RecB[1] == 0) { RecB[2] = 1; Proc6(6, RecB + 2); BoolGlob = 1; }
+    else {
+        for (i = 0; i < 4; i++) rec[i] = RecB[i];
+    }
+}
+
+void Proc2(int *x) {
+    int loc = *x + 10;
+    for (;;) {
+        if (Ch1Glob == 'A') { loc--; *x = loc - IntGlob; break; }
+    }
+}
+
+void Proc4(void) {
+    int b = Ch1Glob == 'A';
+    b = b | BoolGlob;
+    Ch2Glob = 'B';
+}
+
+void Proc5(void) { Ch1Glob = 'A'; BoolGlob = 0; }
+
+void copystr(char *d, char *s) { while (*s) { *d = *s; d++; s++; } *d = 0; }
+
+int main(void) {
+    int run;
+    int IntLoc1, IntLoc2, IntLoc3;
+    copystr(Str1, "DHRYSTONE PROGRAM, 1ST STRING");
+    for (run = 0; run < 600; run++) {
+        Proc5();
+        Proc4();
+        IntLoc1 = 2;
+        IntLoc2 = 3;
+        copystr(Str2, "DHRYSTONE PROGRAM, 2ND STRING");
+        BoolGlob = !Func2(Str1, Str2);
+        while (IntLoc1 < IntLoc2) {
+            IntLoc3 = 5 * IntLoc1 - IntLoc2;
+            Proc7(IntLoc1, IntLoc2, &IntLoc3);
+            IntLoc1++;
+        }
+        Proc8(Arr1Glob, (int *)Arr2Glob, IntLoc1, IntLoc3);
+        RecA[0] = 1; RecA[1] = 0; RecA[2] = 2; RecA[3] = 17;
+        Proc1(RecA);
+        char CharIndex;
+        for (CharIndex = 'A'; CharIndex <= Ch2Glob; CharIndex++)
+            if (Func1(CharIndex, 'C')) Proc6(0, &IntLoc3);
+        IntLoc3 = IntLoc2 * IntLoc1;
+        IntLoc2 = IntLoc3 / 3;
+        IntLoc2 = 7 * (IntLoc3 - IntLoc2) - IntLoc1;
+        Proc2(&IntLoc1);
+    }
+    prints("done ");
+    printi(IntGlob);
+    printn();
+    return 0;
+}
+`
+
+const srcMatmult = `
+// matmult: integer matrix multiplication with a checksum.
+int A[24][24];
+int B[24][24];
+int C[24][24];
+
+int main(void) {
+    int i, j, k;
+    int rep;
+    for (i = 0; i < 24; i++)
+        for (j = 0; j < 24; j++) {
+            A[i][j] = (i * 7 + j * 3) % 13;
+            B[i][j] = (i * 5 + j * 11) % 17;
+        }
+    int sum = 0;
+    for (rep = 0; rep < 6; rep++) {
+        for (i = 0; i < 24; i++)
+            for (j = 0; j < 24; j++) {
+                int s = 0;
+                for (k = 0; k < 24; k++)
+                    s += A[i][k] * B[k][j];
+                C[i][j] = s;
+            }
+        sum = (sum + C[rep][rep]) % 100000;
+    }
+    prints("checksum ");
+    printi(sum);
+    printn();
+    return 0;
+}
+`
+
+const srcPuzzle = `
+// puzzle: Baskett's bin-packing puzzle (recursion and array references).
+int pieceCount[4];
+int class[13];
+int pieceMax[13];
+int puzzl[512];
+int p[13][512];
+int count;
+int kount;
+
+int fit(int i, int j) {
+    int k;
+    for (k = 0; k <= pieceMax[i]; k++)
+        if (p[i][k])
+            if (puzzl[j + k]) return 0;
+    return 1;
+}
+
+int place(int i, int j) {
+    int k;
+    for (k = 0; k <= pieceMax[i]; k++)
+        if (p[i][k]) puzzl[j + k] = 1;
+    pieceCount[class[i]] -= 1;
+    for (k = j; k < 512; k++)
+        if (!puzzl[k]) return k;
+    return 0;
+}
+
+void removep(int i, int j) {
+    int k;
+    for (k = 0; k <= pieceMax[i]; k++)
+        if (p[i][k]) puzzl[j + k] = 0;
+    pieceCount[class[i]] += 1;
+}
+
+int trial(int j) {
+    int i, k;
+    kount++;
+    for (i = 0; i < 13; i++)
+        if (pieceCount[class[i]] != 0)
+            if (fit(i, j)) {
+                k = place(i, j);
+                if (trial(k) || k == 0) return 1;
+                removep(i, j);
+            }
+    return 0;
+}
+
+void definePiece(int index, int cl, int dx, int dy, int dz) {
+    int i, j, k;
+    class[index] = cl;
+    for (i = 0; i <= dx; i++)
+        for (j = 0; j <= dy; j++)
+            for (k = 0; k <= dz; k++)
+                p[index][i + 8 * (j + 8 * k)] = 1;
+    pieceMax[index] = dx + 8 * (dy + 8 * dz);
+}
+
+int main(void) {
+    int i, j, k, m;
+    for (m = 0; m < 512; m++) puzzl[m] = 1;
+    for (i = 1; i < 6; i++)
+        for (j = 1; j < 6; j++)
+            for (k = 1; k < 6; k++)
+                puzzl[i + 8 * (j + 8 * k)] = 0;
+    definePiece(0, 0, 3, 1, 0);
+    definePiece(1, 0, 1, 0, 3);
+    definePiece(2, 0, 0, 3, 1);
+    definePiece(3, 0, 1, 3, 0);
+    definePiece(4, 0, 3, 0, 1);
+    definePiece(5, 0, 0, 1, 3);
+    definePiece(6, 1, 2, 0, 0);
+    definePiece(7, 1, 0, 2, 0);
+    definePiece(8, 1, 0, 0, 2);
+    definePiece(9, 2, 1, 1, 0);
+    definePiece(10, 2, 1, 0, 1);
+    definePiece(11, 2, 0, 1, 1);
+    definePiece(12, 3, 1, 1, 1);
+    pieceCount[0] = 13;
+    pieceCount[1] = 3;
+    pieceCount[2] = 1;
+    pieceCount[3] = 1;
+    m = 1 + 8 * (1 + 8);
+    kount = 0;
+    if (fit(0, m)) {
+        int n = place(0, m);
+        if (trial(n)) { prints("success in "); printi(kount); prints(" trials\n"); }
+        else prints("failure\n");
+    } else prints("no fit\n");
+    return 0;
+}
+`
+
+const srcSieve = `
+// sieve: Eratosthenes, repeated.
+char flags[8192];
+
+int main(void) {
+    int iter, i, k;
+    int count = 0;
+    for (iter = 0; iter < 40; iter++) {
+        count = 0;
+        for (i = 0; i < 8192; i++) flags[i] = 1;
+        for (i = 2; i < 8192; i++)
+            if (flags[i]) {
+                for (k = i + i; k < 8192; k += i) flags[k] = 0;
+                count++;
+            }
+    }
+    prints("primes ");
+    printi(count);
+    printn();
+    return 0;
+}
+`
+
+const srcWhetstone = `
+// whetstone: floating-point synthetic benchmark. Transcendental functions
+// are polynomial approximations (the machines have no trig hardware), so
+// the module mix (array ops, calls, conditional jumps, FP arithmetic)
+// matches the original's flavor.
+float e1[4];
+int jj, kk, ll;
+float t, t1, t2;
+
+float fabs2(float x) { if (x < 0.0) return -x; return x; }
+
+float sin2(float x) {
+    while (x > 3.14159265) x -= 6.2831853;
+    while (x < -3.14159265) x += 6.2831853;
+    float x2 = x * x;
+    return x * (1.0 - x2 / 6.0 * (1.0 - x2 / 20.0 * (1.0 - x2 / 42.0)));
+}
+
+float cos2(float x) { return sin2(x + 1.57079633); }
+
+float exp2f(float x) {
+    // e^x for small |x| via series.
+    float sum = 1.0;
+    float term = 1.0;
+    int i;
+    for (i = 1; i < 12; i++) {
+        term = term * x / (float)i;
+        sum += term;
+    }
+    return sum;
+}
+
+float log2f(float x) {
+    // ln(x) for x near 1 via atanh series.
+    float y = (x - 1.0) / (x + 1.0);
+    float y2 = y * y;
+    float sum = 0.0;
+    float term = y;
+    int i;
+    for (i = 1; i < 15; i += 2) {
+        sum += term / (float)i;
+        term = term * y2;
+    }
+    return 2.0 * sum;
+}
+
+float sqrt2(float x) {
+    if (x <= 0.0) return 0.0;
+    float g = x;
+    int i;
+    for (i = 0; i < 20; i++) g = 0.5 * (g + x / g);
+    return g;
+}
+
+void pa(float *e) {
+    int j = 0;
+    do {
+        e[0] = (e[0] + e[1] + e[2] - e[3]) * t;
+        e[1] = (e[0] + e[1] - e[2] + e[3]) * t;
+        e[2] = (e[0] - e[1] + e[2] + e[3]) * t;
+        e[3] = (-e[0] + e[1] + e[2] + e[3]) / t2;
+        j++;
+    } while (j < 6);
+}
+
+void p3(float x, float y, float *z) {
+    x = t * (x + y);
+    y = t * (x + y);
+    *z = (x + y) / t2;
+}
+
+void p0(float *e) {
+    e[jj] = e[kk];
+    e[kk] = e[ll];
+    e[ll] = e[jj];
+}
+
+int main(void) {
+    int loop = 4;
+    int n1 = 0, n2 = 12 * loop, n3 = 14 * loop, n4 = 345 * loop;
+    int n6 = 210 * loop, n7 = 32 * loop, n8 = 899 * loop;
+    int n9 = 616 * loop, n10 = 0, n11 = 93 * loop;
+    float x1, x2, x3, x4, x, y, z;
+    int i;
+    t = 0.499975;
+    t1 = 0.50025;
+    t2 = 2.0;
+    // module 1: simple identifiers
+    x1 = 1.0; x2 = -1.0; x3 = -1.0; x4 = -1.0;
+    for (i = 0; i < n1; i++) {
+        x1 = (x1 + x2 + x3 - x4) * t;
+        x2 = (x1 + x2 - x3 + x4) * t;
+        x3 = (x1 - x2 + x3 + x4) * t;
+        x4 = (-x1 + x2 + x3 + x4) * t;
+    }
+    // module 2: array elements
+    e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+    for (i = 0; i < n2; i++) {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+        e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+    }
+    // module 3: array as parameter
+    for (i = 0; i < n3; i++) pa(e1);
+    // module 4: conditional jumps
+    int j = 1;
+    for (i = 0; i < n4; i++) {
+        if (j == 1) j = 2; else j = 3;
+        if (j > 2) j = 0; else j = 1;
+        if (j < 1) j = 1; else j = 0;
+    }
+    // module 6: integer arithmetic
+    jj = 1; kk = 2; ll = 3;
+    for (i = 0; i < n6; i++) {
+        jj = jj * (kk - jj) * (ll - kk);
+        kk = ll * kk - (ll - jj) * kk;
+        ll = (ll - kk) * (kk + jj);
+        e1[ll - 2] = (float)(jj + kk + ll);
+        e1[kk - 2] = (float)(jj * kk * ll);
+    }
+    // module 7: trigonometric functions
+    x = 0.5; y = 0.5;
+    for (i = 0; i < n7; i++) {
+        x = t * atan2ish(x, y);
+        y = t * atan2ish(y, x);
+    }
+    // module 8: procedure calls
+    x = 1.0; y = 1.0; z = 1.0;
+    for (i = 0; i < n8; i++) p3(x, y, &z);
+    // module 9: array references via globals
+    jj = 0; kk = 1; ll = 2;
+    e1[0] = 1.0; e1[1] = 2.0; e1[2] = 3.0;
+    for (i = 0; i < n9; i++) p0(e1);
+    // module 10: integer arithmetic
+    int ij = 2, ik = 3;
+    for (i = 0; i < n10; i++) {
+        ij = ik - ij;
+        ik = ik - ij;
+    }
+    // module 11: standard functions
+    x = 0.75;
+    for (i = 0; i < n11; i++)
+        x = sqrt2(exp2f(log2f(x) / t1));
+    prints("x ");
+    printi((int)(x * 1000.0));
+    prints(" z ");
+    printi((int)(z * 1000.0));
+    printn();
+    return 0;
+}
+
+float atan2ish(float a, float b) {
+    // 2*sin(a)*cos(b) flavored stand-in keeping the call+FP mix.
+    return t2 * sin2(a) * cos2(b);
+}
+`
+
+const srcSpline = `
+// spline: natural cubic spline through fixed knots, evaluated densely.
+float xs[12];
+float ys[12];
+float h[12];
+float alpha[12];
+float l[12];
+float mu[12];
+float zz[12];
+float c[12];
+float b[12];
+float d[12];
+
+int main(void) {
+    int n = 11;
+    int i;
+    for (i = 0; i <= n; i++) {
+        xs[i] = (float)i;
+        float v = (float)(i * i % 7) - 3.0;
+        ys[i] = v * 0.5;
+    }
+    for (i = 0; i < n; i++) h[i] = xs[i + 1] - xs[i];
+    for (i = 1; i < n; i++)
+        alpha[i] = 3.0 * (ys[i + 1] - ys[i]) / h[i] - 3.0 * (ys[i] - ys[i - 1]) / h[i - 1];
+    l[0] = 1.0; mu[0] = 0.0; zz[0] = 0.0;
+    for (i = 1; i < n; i++) {
+        l[i] = 2.0 * (xs[i + 1] - xs[i - 1]) - h[i - 1] * mu[i - 1];
+        mu[i] = h[i] / l[i];
+        zz[i] = (alpha[i] - h[i - 1] * zz[i - 1]) / l[i];
+    }
+    l[n] = 1.0; zz[n] = 0.0; c[n] = 0.0;
+    for (i = n - 1; i >= 0; i--) {
+        c[i] = zz[i] - mu[i] * c[i + 1];
+        b[i] = (ys[i + 1] - ys[i]) / h[i] - h[i] * (c[i + 1] + 2.0 * c[i]) / 3.0;
+        d[i] = (c[i + 1] - c[i]) / (3.0 * h[i]);
+    }
+    // Evaluate at many points; accumulate a checksum.
+    float sum = 0.0;
+    int rep;
+    for (rep = 0; rep < 200; rep++) {
+        int k;
+        for (k = 0; k < 1000; k++) {
+            float x = (float)k * 0.011;
+            int seg = (int)x;
+            if (seg > n - 1) seg = n - 1;
+            float dx = x - xs[seg];
+            float y = ys[seg] + dx * (b[seg] + dx * (c[seg] + dx * d[seg]));
+            sum += y;
+        }
+    }
+    prints("sum ");
+    printi((int)sum);
+    printn();
+    return 0;
+}
+`
+
+const srcMincost = `
+// mincost: VLSI circuit partitioning by greedy min-cut improvement
+// (Kernighan-Lin flavored) on a synthetic netlist.
+int adj[64][64];
+int side[64];
+int gain[64];
+
+int seed;
+int rnd(int mod) {
+    seed = seed * 1103515245 + 12345;
+    int v = (seed >> 16) % mod;
+    if (v < 0) v += mod;
+    return v;
+}
+
+int cutsize(void) {
+    int cut = 0;
+    int i, j;
+    for (i = 0; i < 64; i++)
+        for (j = i + 1; j < 64; j++)
+            if (adj[i][j] && side[i] != side[j]) cut += adj[i][j];
+    return cut;
+}
+
+void computeGains(void) {
+    int i, j;
+    for (i = 0; i < 64; i++) {
+        int g = 0;
+        for (j = 0; j < 64; j++)
+            if (adj[i][j]) {
+                if (side[i] != side[j]) g += adj[i][j];
+                else g -= adj[i][j];
+            }
+        gain[i] = g;
+    }
+}
+
+int main(void) {
+    int i, j;
+    seed = 7;
+    // synthetic netlist: ring + random chords
+    for (i = 0; i < 64; i++) {
+        adj[i][(i + 1) % 64] = 1;
+        adj[(i + 1) % 64][i] = 1;
+    }
+    for (i = 0; i < 96; i++) {
+        int a = rnd(64);
+        int c = rnd(64);
+        if (a != c) { adj[a][c] = 1 + rnd(3); adj[c][a] = adj[a][c]; }
+    }
+    for (i = 0; i < 64; i++) side[i] = i & 1;
+    int best = cutsize();
+    int pass;
+    for (pass = 0; pass < 24; pass++) {
+        computeGains();
+        // pick the best swap pair across the cut
+        int bi = -1, bj = -1, bg = 0;
+        for (i = 0; i < 64; i++)
+            for (j = 0; j < 64; j++)
+                if (side[i] == 0 && side[j] == 1) {
+                    int g = gain[i] + gain[j] - 2 * adj[i][j];
+                    if (g > bg) { bg = g; bi = i; bj = j; }
+                }
+        if (bi < 0) break;
+        side[bi] = 1;
+        side[bj] = 0;
+        int now = cutsize();
+        if (now < best) best = now;
+    }
+    prints("mincut ");
+    printi(best);
+    printn();
+    return 0;
+}
+`
+
+const srcTinycc = `
+// tinycc: a small expression compiler standing in for vpcc — it tokenizes,
+// parses (recursive descent), emits stack-machine code, then interprets
+// the code. Compiler-shaped control flow: switches, recursion, tables.
+char line[128];
+int pos;
+
+int code[256];
+int ncode;
+
+// opcodes: 0 push (arg follows), 1 add, 2 sub, 3 mul, 4 div, 5 rem, 6 neg
+void emit(int op) { code[ncode] = op; ncode++; }
+void emitPush(int v) { emit(0); emit(v); }
+
+int peekc(void) {
+    while (line[pos] == ' ') pos++;
+    return line[pos];
+}
+
+int parsePrimary(void) {
+    int c = peekc();
+    if (c == '(') {
+        pos++;
+        if (!parseExpr()) return 0;
+        if (peekc() != ')') return 0;
+        pos++;
+        return 1;
+    }
+    if (c == '-') {
+        pos++;
+        if (!parsePrimary()) return 0;
+        emit(6);
+        return 1;
+    }
+    if (c >= '0' && c <= '9') {
+        int v = 0;
+        while (line[pos] >= '0' && line[pos] <= '9') {
+            v = v * 10 + line[pos] - '0';
+            pos++;
+        }
+        emitPush(v);
+        return 1;
+    }
+    return 0;
+}
+
+int parseTerm(void) {
+    if (!parsePrimary()) return 0;
+    for (;;) {
+        int c = peekc();
+        if (c == '*' || c == '/' || c == '%') {
+            pos++;
+            if (!parsePrimary()) return 0;
+            switch (c) {
+            case '*': emit(3); break;
+            case '/': emit(4); break;
+            default: emit(5); break;
+            }
+        } else return 1;
+    }
+}
+
+int parseExpr(void) {
+    if (!parseTerm()) return 0;
+    for (;;) {
+        int c = peekc();
+        if (c == '+' || c == '-') {
+            pos++;
+            if (!parseTerm()) return 0;
+            if (c == '+') emit(1); else emit(2);
+        } else return 1;
+    }
+}
+
+int stack[64];
+
+int run(void) {
+    int sp = 0;
+    int i = 0;
+    while (i < ncode) {
+        switch (code[i]) {
+        case 0: stack[sp] = code[i + 1]; sp++; i += 2; break;
+        case 1: sp--; stack[sp - 1] += stack[sp]; i++; break;
+        case 2: sp--; stack[sp - 1] -= stack[sp]; i++; break;
+        case 3: sp--; stack[sp - 1] *= stack[sp]; i++; break;
+        case 4: sp--; if (stack[sp]) stack[sp - 1] /= stack[sp]; i++; break;
+        case 5: sp--; if (stack[sp]) stack[sp - 1] %= stack[sp]; i++; break;
+        case 6: stack[sp - 1] = -stack[sp - 1]; i++; break;
+        default: return 0;
+        }
+    }
+    return stack[0];
+}
+
+int main(void) {
+    int iter;
+    for (iter = 0; iter < 60; iter++) {
+        // reread the program text each iteration is impossible (stdin is a
+        // stream), so only iterate computation on the parsed programs in
+        // the first pass; here we simply re-run the interpreter.
+        ;
+    }
+    while (readline(line, 128) >= 0) {
+        pos = 0;
+        ncode = 0;
+        if (!parseExpr() || peekc() != 0) {
+            prints("error\n");
+            continue;
+        }
+        int r = 0;
+        for (iter = 0; iter < 50; iter++) r = run();
+        printi(r);
+        printn();
+    }
+    return 0;
+}
+`

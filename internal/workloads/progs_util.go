@@ -1,0 +1,403 @@
+package workloads
+
+// Unix-utility workloads (Appendix I, class "Utilities").
+
+const srcCal = `
+// cal: print calendars for 12 months of 1990 (the paper's year).
+int daysin[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+char names[60] = "Jan Feb Mar Apr May Jun Jul Aug Sep Oct Nov Dec ";
+
+int dayofweek(int y, int m, int d) {
+    // Zeller's congruence, 1-based month, returns 0=Saturday.
+    int adj;
+    if (m < 3) { m += 12; y -= 1; }
+    adj = (d + (13 * (m + 1)) / 5 + y + y / 4 - y / 100 + y / 400) % 7;
+    return adj;
+}
+
+void pad(int n) { while (n-- > 0) putchar(' '); }
+
+void month(int y, int m) {
+    int i;
+    for (i = 0; i < 4; i++) putchar(names[(m - 1) * 4 + i]);
+    printi(y);
+    printn();
+    prints("Su Mo Tu We Th Fr Sa\n");
+    int start = (dayofweek(y, m, 1) + 6) % 7; // 0=Sunday
+    int days = daysin[m - 1];
+    if (m == 2 && (y % 4 == 0 && y % 100 != 0 || y % 400 == 0)) days = 29;
+    pad(start * 3);
+    int col = start;
+    for (i = 1; i <= days; i++) {
+        if (i < 10) putchar(' ');
+        printi(i);
+        col++;
+        if (col == 7) { printn(); col = 0; }
+        else putchar(' ');
+    }
+    if (col != 0) printn();
+    printn();
+}
+
+int main(void) {
+    int m;
+    int pass;
+    for (pass = 0; pass < 12; pass++)
+        for (m = 1; m <= 12; m++)
+            month(1990, m);
+    return 0;
+}
+`
+
+const srcCb = `
+// cb: re-indent brace-structured text.
+char line[256];
+
+int main(void) {
+    int depth = 0;
+    int n;
+    while ((n = readline(line, 256)) >= 0) {
+        int i = 0;
+        while (line[i] == ' ' || line[i] == '\t') i++;
+        int opens = 0, closes = 0;
+        int j;
+        for (j = i; line[j]; j++) {
+            if (line[j] == '{') opens++;
+            if (line[j] == '}') closes++;
+        }
+        int d = depth;
+        if (line[i] == '}') d--;
+        if (d < 0) d = 0;
+        for (j = 0; j < d * 4; j++) putchar(' ');
+        for (j = i; line[j]; j++) putchar(line[j]);
+        printn();
+        depth += opens - closes;
+        if (depth < 0) depth = 0;
+    }
+    return 0;
+}
+`
+
+const srcCompact = `
+// compact: run-length + move-to-front byte compression of the input.
+char mtf[256];
+char buf[8192];
+
+int main(void) {
+    int len = 0;
+    int c;
+    while ((c = getchar()) != -1 && len < 8192) { buf[len] = c; len++; }
+    int i;
+    for (i = 0; i < 256; i++) mtf[i] = i;
+    int outbytes = 0;
+    int run = 0;
+    int prev = -1;
+    for (i = 0; i < len; i++) {
+        int b = buf[i] & 255;
+        if (b == prev && run < 255) { run++; continue; }
+        if (run > 2) { printi(run); putchar(':'); outbytes += 2; }
+        run = 1;
+        prev = b;
+        // move-to-front index
+        int j = 0;
+        while ((mtf[j] & 255) != b) j++;
+        int k;
+        for (k = j; k > 0; k--) mtf[k] = mtf[k - 1];
+        mtf[0] = b;
+        if (j < 16) { putchar('a' + j); outbytes++; }
+        else { putchar('#'); printi(j); outbytes += 3; }
+    }
+    printn();
+    prints("in "); printi(len); prints(" out "); printi(outbytes); printn();
+    return 0;
+}
+`
+
+const srcDiff = `
+// diff: longest-common-subsequence difference of two line lists separated
+// by a %% marker.
+char text[8192];
+int astart[128];
+int bstart[128];
+int lcs[129][129];
+char line[128];
+
+int lineeq(char *a, char *b) {
+    while (*a && *a != '\n' && *b && *b != '\n' && *a == *b) { a++; b++; }
+    int ea = (*a == 0 || *a == '\n');
+    int eb = (*b == 0 || *b == '\n');
+    return ea && eb;
+}
+
+void putline(char *p) {
+    while (*p && *p != '\n') { putchar(*p); p++; }
+    printn();
+}
+
+int main(void) {
+    int na = 0, nb = 0;
+    int pos = 0;
+    int second = 0;
+    int n;
+    while ((n = readline(line, 128)) >= 0) {
+        if (line[0] == '%' && line[1] == '%') { second = 1; continue; }
+        int i;
+        if (second) { bstart[nb] = pos; nb++; }
+        else { astart[na] = pos; na++; }
+        for (i = 0; i < n; i++) { text[pos] = line[i]; pos++; }
+        text[pos] = '\n'; pos++;
+    }
+    int i, j;
+    for (i = na - 1; i >= 0; i--)
+        for (j = nb - 1; j >= 0; j--) {
+            if (lineeq(text + astart[i], text + bstart[j]))
+                lcs[i][j] = lcs[i + 1][j + 1] + 1;
+            else if (lcs[i + 1][j] >= lcs[i][j + 1])
+                lcs[i][j] = lcs[i + 1][j];
+            else
+                lcs[i][j] = lcs[i][j + 1];
+        }
+    i = 0; j = 0;
+    while (i < na && j < nb) {
+        if (lineeq(text + astart[i], text + bstart[j])) { i++; j++; }
+        else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+            prints("< "); putline(text + astart[i]); i++;
+        } else {
+            prints("> "); putline(text + bstart[j]); j++;
+        }
+    }
+    while (i < na) { prints("< "); putline(text + astart[i]); i++; }
+    while (j < nb) { prints("> "); putline(text + bstart[j]); j++; }
+    return 0;
+}
+`
+
+const srcGrep = `
+// grep: print lines containing the pattern given on the first input line.
+// '.' in the pattern matches any character.
+char pat[128];
+char line[256];
+
+int matchhere(char *p, char *s) {
+    for (; *p; p++) {
+        if (*s == 0) return 0;
+        if (*p != '.' && *p != *s) return 0;
+        s++;
+    }
+    return 1;
+}
+
+int match(char *p, char *s) {
+    for (; *s; s++)
+        if (matchhere(p, s)) return 1;
+    return 0;
+}
+
+int main(void) {
+    if (readline(pat, 128) < 0) return 1;
+    int matched = 0;
+    while (readline(line, 256) >= 0) {
+        if (match(pat, line)) {
+            prints(line);
+            printn();
+            matched++;
+        }
+    }
+    return matched == 0;
+}
+`
+
+const srcNroff = `
+// nroff: fill and left-justify text to a 48-column measure.
+char word[64];
+char line[256];
+
+int outcol;
+
+void flushline(void) { if (outcol > 0) { printn(); outcol = 0; } }
+
+void putword(char *w) {
+    int n = slen(w);
+    if (n == 0) return;
+    if (outcol > 0 && outcol + 1 + n > 48) flushline();
+    if (outcol > 0) { putchar(' '); outcol++; }
+    prints(w);
+    outcol += n;
+}
+
+int main(void) {
+    int n;
+    while ((n = readline(line, 256)) >= 0) {
+        if (n == 0) { flushline(); printn(); continue; }
+        int i = 0;
+        while (line[i]) {
+            while (line[i] == ' ' || line[i] == '\t') i++;
+            int k = 0;
+            while (line[i] && line[i] != ' ' && line[i] != '\t' && k < 63) {
+                word[k] = line[i];
+                k++; i++;
+            }
+            word[k] = 0;
+            putword(word);
+        }
+    }
+    flushline();
+    return 0;
+}
+`
+
+const srcOd = `
+// od: octal dump of the input.
+char chunk[16];
+
+void oct3(int v) {
+    putchar('0' + ((v >> 6) & 7));
+    putchar('0' + ((v >> 3) & 7));
+    putchar('0' + (v & 7));
+}
+
+void oct7(int v) {
+    int i;
+    for (i = 18; i >= 0; i -= 3) putchar('0' + ((v >> i) & 7));
+}
+
+int main(void) {
+    int off = 0;
+    int c;
+    int n = 0;
+    for (;;) {
+        c = getchar();
+        if (c != -1) { chunk[n] = c; n++; }
+        if (n == 16 || (c == -1 && n > 0)) {
+            oct7(off);
+            int i;
+            for (i = 0; i < n; i++) { putchar(' '); oct3(chunk[i] & 255); }
+            printn();
+            off += n;
+            n = 0;
+        }
+        if (c == -1) break;
+    }
+    oct7(off);
+    printn();
+    return 0;
+}
+`
+
+const srcSed = `
+// sed: substitute the first input line's string with the second's in the
+// remaining lines (s/from/to/g).
+char from[64];
+char to[64];
+char line[256];
+
+int main(void) {
+    if (readline(from, 64) < 0) return 1;
+    if (readline(to, 64) < 0) return 1;
+    int flen = slen(from);
+    while (readline(line, 256) >= 0) {
+        char *s = line;
+        while (*s) {
+            int i = 0;
+            while (from[i] && s[i] == from[i]) i++;
+            if (flen > 0 && from[i] == 0) {
+                prints(to);
+                s += flen;
+            } else {
+                putchar(*s);
+                s++;
+            }
+        }
+        printn();
+    }
+    return 0;
+}
+`
+
+const srcSort = `
+// sort: read lines, quicksort them, print in order.
+char text[8192];
+int start[256];
+int nlines;
+
+int cmp(char *a, char *b) {
+    while (*a && *a == *b) { a++; b++; }
+    if (*a == *b) return 0;
+    if ((*a & 255) < (*b & 255)) return -1;
+    return 1;
+}
+
+void qsortlines(int lo, int hi) {
+    if (lo >= hi) return;
+    int pivot = start[(lo + hi) / 2];
+    int i = lo, j = hi;
+    while (i <= j) {
+        while (cmp(text + start[i], text + pivot) < 0) i++;
+        while (cmp(text + start[j], text + pivot) > 0) j--;
+        if (i <= j) {
+            int t = start[i];
+            start[i] = start[j];
+            start[j] = t;
+            i++; j--;
+        }
+    }
+    qsortlines(lo, j);
+    qsortlines(i, hi);
+}
+
+int main(void) {
+    int pos = 0;
+    char line[128];
+    int n;
+    while ((n = readline(line, 128)) >= 0 && nlines < 256) {
+        start[nlines] = pos;
+        nlines++;
+        int i;
+        for (i = 0; i <= n; i++) { text[pos] = line[i]; pos++; }
+    }
+    qsortlines(0, nlines - 1);
+    int i;
+    for (i = 0; i < nlines; i++) {
+        prints(text + start[i]);
+        printn();
+    }
+    return 0;
+}
+`
+
+const srcTr = `
+// tr: translate characters of the input according to two mapping lines.
+char from[128];
+char to[128];
+char map[256];
+
+int main(void) {
+    if (readline(from, 128) < 0) return 1;
+    if (readline(to, 128) < 0) return 1;
+    int i;
+    for (i = 0; i < 256; i++) map[i] = i;
+    for (i = 0; from[i] && to[i]; i++) map[from[i] & 255] = to[i];
+    int c;
+    while ((c = getchar()) != -1) putchar(map[c & 255] & 255);
+    return 0;
+}
+`
+
+const srcWc = `
+// wc: count lines, words and characters.
+int main(void) {
+    int lines = 0, words = 0, chars = 0;
+    int inword = 0;
+    int c;
+    while ((c = getchar()) != -1) {
+        chars++;
+        if (c == '\n') lines++;
+        if (c == ' ' || c == '\t' || c == '\n') inword = 0;
+        else if (!inword) { inword = 1; words++; }
+    }
+    printi(lines); putchar(' ');
+    printi(words); putchar(' ');
+    printi(chars); printn();
+    return 0;
+}
+`

@@ -1,0 +1,179 @@
+// Package workloads contains the benchmark suite of the paper's Appendix I
+// rewritten in MC: Unix utilities (cal, cb, compact, diff, grep, nroff, od,
+// sed, sort, tr, wc), numeric benchmarks (dhrystone, matmult, puzzle,
+// sieve, whetstone, spline), and user code (mincost, and tinycc — a small
+// expression compiler standing in for vpcc). Each workload carries a
+// deterministic synthetic input so runs are reproducible.
+package workloads
+
+import "strings"
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name        string
+	Class       string // "utility", "benchmark", "user"
+	Description string
+	Source      string // MC source (the prelude is appended automatically)
+	Input       string
+	NoPrelude   bool // program defines everything itself
+}
+
+// Prelude is the tiny runtime library linked into every workload.
+const Prelude = `
+void prints(char *s) { for (; *s; s++) putchar(*s); }
+void printi(int n) {
+    if (n < 0) { putchar('-'); n = -n; }
+    if (n >= 10) printi(n / 10);
+    putchar('0' + n % 10);
+}
+void printn(void) { putchar('\n'); }
+int readline(char *buf, int max) {
+    int c;
+    int n = 0;
+    while ((c = getchar()) != -1) {
+        if (c == '\n') { buf[n] = 0; return n; }
+        if (n < max - 1) { buf[n] = c; n++; }
+    }
+    buf[n] = 0;
+    if (n == 0) return -1;
+    return n;
+}
+int streq(char *a, char *b) {
+    while (*a && *a == *b) { a++; b++; }
+    return *a == *b;
+}
+int slen(char *s) { int n = 0; for (; *s; s++) n++; return n; }
+`
+
+// All returns every workload in a stable order.
+func All() []Workload {
+	return []Workload{
+		{Name: "cal", Class: "utility", Description: "calendar generator", Source: srcCal, Input: ""},
+		{Name: "cb", Class: "utility", Description: "C program beautifier", Source: srcCb, Input: strings.Repeat(cbInput, 60)},
+		{Name: "compact", Class: "utility", Description: "file compression", Source: srcCompact, Input: textInput(40)},
+		{Name: "diff", Class: "utility", Description: "file differences", Source: srcDiff, Input: diffInput},
+		{Name: "grep", Class: "utility", Description: "search for pattern", Source: srcGrep, Input: "ing\n" + textInput(60)},
+		{Name: "nroff", Class: "utility", Description: "text formatter", Source: srcNroff, Input: textInput(50)},
+		{Name: "od", Class: "utility", Description: "octal dump", Source: srcOd, Input: textInput(12)},
+		{Name: "sed", Class: "utility", Description: "stream editor", Source: srcSed, Input: "the\nTHE\n" + textInput(50)},
+		{Name: "sort", Class: "utility", Description: "sort lines", Source: srcSort, Input: sortInput},
+		{Name: "spline", Class: "benchmark", Description: "interpolate curve", Source: srcSpline, Input: ""},
+		{Name: "tr", Class: "utility", Description: "translate characters", Source: srcTr, Input: "aeiou\nAEIOU\n" + textInput(40)},
+		{Name: "wc", Class: "utility", Description: "word count", Source: srcWc, Input: textInput(80)},
+		{Name: "dhrystone", Class: "benchmark", Description: "synthetic integer benchmark", Source: srcDhrystone, Input: ""},
+		{Name: "matmult", Class: "benchmark", Description: "matrix multiplication", Source: srcMatmult, Input: ""},
+		{Name: "puzzle", Class: "benchmark", Description: "recursion and arrays", Source: srcPuzzle, Input: ""},
+		{Name: "sieve", Class: "benchmark", Description: "iteration", Source: srcSieve, Input: ""},
+		{Name: "whetstone", Class: "benchmark", Description: "floating-point arithmetic", Source: srcWhetstone, Input: ""},
+		{Name: "mincost", Class: "user", Description: "VLSI circuit partitioning", Source: srcMincost, Input: ""},
+		{Name: "tinycc", Class: "user", Description: "small expression compiler (vpcc stand-in)", Source: srcTinycc, Input: tinyccInput},
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// FullSource returns the complete MC source of a workload (prelude + body).
+func (w Workload) FullSource() string {
+	if w.NoPrelude {
+		return w.Source
+	}
+	return Prelude + w.Source
+}
+
+// textInput generates n lines of deterministic prose-like text.
+func textInput(n int) string {
+	words := []string{
+		"the", "register", "branch", "machine", "pipeline", "running",
+		"compiler", "moving", "loop", "address", "instruction", "cache",
+		"prefetching", "delay", "cycle", "target", "encoding", "jumping",
+		"calling", "saving", "restoring", "counting", "estimating", "a",
+		"of", "to", "and", "in", "is", "for",
+	}
+	var b strings.Builder
+	seed := uint32(12345)
+	next := func(mod int) int {
+		seed = seed*1103515245 + 12345
+		return int((seed >> 16) % uint32(mod))
+	}
+	for i := 0; i < n; i++ {
+		wordsInLine := 4 + next(8)
+		for j := 0; j < wordsInLine; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(words[next(len(words))])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+var sortInput = func() string {
+	var lines []string
+	seed := uint32(99)
+	for i := 0; i < 120; i++ {
+		seed = seed*1664525 + 1013904223
+		var sb strings.Builder
+		n := 3 + int(seed>>28)
+		s := seed
+		for j := 0; j < n; j++ {
+			s = s*1664525 + 1013904223
+			sb.WriteByte(byte('a' + (s>>24)%26))
+		}
+		lines = append(lines, sb.String())
+	}
+	return strings.Join(lines, "\n") + "\n"
+}()
+
+var diffInput = func() string {
+	a := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot",
+		"golf", "hotel", "india", "juliet", "kilo", "lima", "mike",
+		"november", "oscar", "papa", "quebec", "romeo", "sierra", "tango"}
+	b := append([]string{}, a...)
+	b[3] = "DELTA"              // change
+	b = append(b[:7], b[8:]...) // delete "hotel"
+	b = append(b, "uniform", "victor")
+	var sb strings.Builder
+	for _, l := range a {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("%%\n")
+	for _, l := range b {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}()
+
+var cbInput = `int f(int x){
+if(x>0){
+return x;
+}else{
+while(x<0){
+x++;
+}
+}
+return 0;
+}
+`
+
+var tinyccInput = `1+2*3
+(4+5)*(6-2)
+100/5-3*2
+2*(3+4*(5+6))-1
+7%3+10
+-8+20
+1+2+3+4+5+6+7+8+9+10
+(1+2)*(3+4)*(5+6)
+999-111*2
+42
+`

@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"branchreg/internal/driver"
+	"branchreg/internal/irexec"
+	"branchreg/internal/isa"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("suite has %d workloads, want 19 (Appendix I)", len(all))
+	}
+	seen := map[string]bool{}
+	classes := map[string]int{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+		classes[w.Class]++
+		if w.Description == "" || w.Source == "" {
+			t.Errorf("%s: missing description or source", w.Name)
+		}
+	}
+	if classes["utility"] < 10 || classes["benchmark"] < 5 || classes["user"] < 2 {
+		t.Errorf("class mix wrong: %v", classes)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, ok := ByName("sieve")
+	if !ok || w.Name != "sieve" {
+		t.Fatal("ByName(sieve) failed")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Fatal("ByName should miss")
+	}
+}
+
+// Every workload must compile for both machines, run to completion, and
+// produce identical output on the IR interpreter, the baseline machine and
+// the branch-register machine.
+func TestWorkloadsDifferential(t *testing.T) {
+	o := driver.DefaultOptions()
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			src := w.FullSource()
+			iu, err := driver.Lower(src, o)
+			if err != nil {
+				t.Fatalf("lower: %v", err)
+			}
+			refOut, refStatus, err := irexec.RunSource(iu, w.Input)
+			if err != nil {
+				t.Fatalf("irexec: %v", err)
+			}
+			if len(refOut) == 0 {
+				t.Errorf("%s produces no output", w.Name)
+			}
+			for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+				res, err := driver.Run(src, kind, w.Input, o)
+				if err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				if res.Output != refOut || res.Status != refStatus {
+					t.Errorf("%v diverges from reference\n got: %.120q (status %d)\nwant: %.120q (status %d)",
+						kind, res.Output, res.Status, refOut, refStatus)
+				}
+				if res.Stats.Instructions < 10_000 {
+					t.Errorf("%v: workload too small to measure: %d instructions",
+						kind, res.Stats.Instructions)
+				}
+				if res.Stats.Instructions > 80_000_000 {
+					t.Errorf("%v: workload too large: %d instructions",
+						kind, res.Stats.Instructions)
+				}
+			}
+		})
+	}
+}
+
+// Spot-check a few golden outputs so changes to programs are visible.
+func TestGoldenOutputs(t *testing.T) {
+	o := driver.DefaultOptions()
+	run := func(name string) string {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("no workload %s", name)
+		}
+		res, err := driver.Run(w.FullSource(), isa.BranchReg, w.Input, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res.Output
+	}
+	if out := run("sieve"); !strings.Contains(out, "primes 1028") {
+		t.Errorf("sieve output %q", out)
+	}
+	if out := run("wc"); !strings.Contains(out, "80 ") {
+		t.Errorf("wc output %q", out)
+	}
+	if out := run("tinycc"); !strings.HasPrefix(out, "7\n36\n14\n") {
+		t.Errorf("tinycc output %q", out)
+	}
+	if out := run("puzzle"); !strings.Contains(out, "success") {
+		t.Errorf("puzzle output %q", out)
+	}
+	if out := run("cal"); !strings.Contains(out, "Su Mo Tu We Th Fr Sa") {
+		t.Errorf("cal output %q", out)
+	}
+}

@@ -1,0 +1,116 @@
+package branchreg
+
+// Integration tests for the command-line tools, driving them the way a
+// user would (via `go run`).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// bremu exits with the program's status; tolerate nonzero exits
+		// that still produced output.
+		if len(out) == 0 {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+	}
+	return string(out)
+}
+
+func TestBrccBothMachines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool test")
+	}
+	out := runTool(t, "./cmd/brcc", "testdata/strlen.mc")
+	if !strings.Contains(out, "baseline machine") || !strings.Contains(out, "branchreg machine") {
+		t.Errorf("brcc output missing machines:\n%.400s", out)
+	}
+	if !strings.Contains(out, "strlen:") {
+		t.Errorf("brcc output missing function listing:\n%.400s", out)
+	}
+	// The BRM listing must show a compare-with-assignment.
+	if !strings.Contains(out, "->b[") {
+		t.Errorf("brcc BRM listing missing CmpBr notation:\n%.400s", out)
+	}
+}
+
+func TestBrccIRMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool test")
+	}
+	out := runTool(t, "./cmd/brcc", "-ir", "testdata/loopsum.mc")
+	if !strings.Contains(out, "func main") {
+		t.Errorf("brcc -ir output:\n%.400s", out)
+	}
+}
+
+func TestBremuRunsFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool test")
+	}
+	out := runTool(t, "./cmd/bremu", "-machine", "brm", "testdata/hello.mc")
+	if !strings.Contains(out, "hello from the branch register machine") {
+		t.Errorf("bremu output:\n%.400s", out)
+	}
+	if !strings.Contains(out, "instructions executed") {
+		t.Errorf("bremu stats missing:\n%.400s", out)
+	}
+}
+
+func TestBremuWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool test")
+	}
+	out := runTool(t, "./cmd/bremu", "-w", "sieve", "-machine", "baseline")
+	if !strings.Contains(out, "primes 1028") {
+		t.Errorf("bremu workload output:\n%.400s", out)
+	}
+}
+
+func TestBrbenchFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool test")
+	}
+	out := runTool(t, "./cmd/brbench", "-fig5", "-fig6", "-fig7", "-fig8")
+	for _, want := range []string{"Figure 5", "Figure 6", "Figure 7", "Figure 8", "branch registers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("brbench output missing %q:\n%.600s", want, out)
+		}
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool test")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "branch registers saved"},
+		{"./examples/strlen", "Figure 4"},
+		{"./examples/pipetrace", "Figure 8"},
+	}
+	for _, c := range cases {
+		out := runTool(t, c.dir)
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%s output missing %q:\n%.400s", c.dir, c.want, out)
+		}
+	}
+}
+
+func TestBrccHexEncodings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool test")
+	}
+	out := runTool(t, "./cmd/brcc", "-hex", "-machine", "brm", "testdata/hello.mc")
+	if !strings.Contains(out, "00001000:") {
+		t.Errorf("hex listing missing addresses:\n%.300s", out)
+	}
+}
