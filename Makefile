@@ -1,0 +1,28 @@
+# Build and verification entry points. `make check` is the PR gate:
+# vet plus the full test suite under the race detector, which drives the
+# experiment engine's worker pool (suite equality, cancellation, compile
+# cache singleflight) with race checking enabled.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+# Regenerate the paper's evaluation as benchmarks with custom metrics.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -6,6 +6,7 @@ package branchreg
 // so `go test -bench=. -benchmem` regenerates the entire evaluation.
 
 import (
+	"context"
 	"testing"
 
 	"branchreg/internal/cache"
@@ -22,7 +23,8 @@ var benchSuite *exp.SuiteResult
 func suite(b *testing.B) *exp.SuiteResult {
 	b.Helper()
 	if benchSuite == nil {
-		r, err := exp.RunSuite(driver.DefaultOptions())
+		var runner exp.Runner // fresh compile cache per measured suite run
+		r, err := runner.Run(context.Background(), exp.Spec{Options: driver.DefaultOptions()})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +197,7 @@ func BenchmarkCompile(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, w := range workloads.All() {
-					if _, err := driver.Compile(w.FullSource(), kind, o); err != nil {
+					if _, err := driver.Compile(context.Background(), w.FullSource(), kind, o); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -214,7 +216,7 @@ func BenchmarkEmulator(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			var insts int64
 			for i := 0; i < b.N; i++ {
-				res, err := driver.Run(w.FullSource(), kind, w.Input, o)
+				res, err := driver.Run(context.Background(), w.FullSource(), kind, w.Input, o)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -4,21 +4,29 @@
 // 6/8 pipeline action traces, the Figure 9 prefetch-distance histogram,
 // the §8/§9 instruction-cache study, and the §9 ablations.
 //
+// Experiments run concurrently over a bounded worker pool sharing one
+// compile cache, so -all compiles each (program, machine, configuration)
+// at most once. -json writes the full results as a versioned schema
+// suitable for committing as BENCH_<n>.json.
+//
 // Usage:
 //
 //	brbench -all
-//	brbench -table1 -cycles -ratios
+//	brbench -all -json out.json
+//	brbench -table1 -cycles -ratios -workloads wc,grep,sieve
 //	brbench -fig5 -fig6 -fig7 -fig8 -fig9
-//	brbench -cache -ablate
+//	brbench -cache -ablate -par 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
+	"time"
 
-	"branchreg/internal/cache"
-	"branchreg/internal/driver"
 	"branchreg/internal/exp"
 	"branchreg/internal/pipeline"
 )
@@ -37,6 +45,9 @@ func main() {
 	ablate := flag.Bool("ablate", false, "section 9 ablations")
 	validate := flag.Bool("validate", false, "cycle model vs dynamic pipeline simulation")
 	align := flag.Bool("align", false, "section 9 function-alignment cache study")
+	jsonPath := flag.String("json", "", "write results as versioned JSON to this path")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workload filter (default: all)")
+	par := flag.Int("par", 0, "worker pool size (default: GOMAXPROCS)")
 	flag.Parse()
 
 	if *all {
@@ -50,26 +61,64 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := driver.DefaultOptions()
-	var suite *exp.SuiteResult
-	needSuite := *table1 || *cycles || *ratios || *fig9
-	if needSuite {
-		var err error
-		fmt.Fprintln(os.Stderr, "running the 19-program suite on both machines...")
-		suite, err = exp.RunSuite(opts)
-		if err != nil {
-			fatal(err)
+	var names []string
+	if *workloadsFlag != "" {
+		for _, n := range strings.Split(*workloadsFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
 		}
 	}
 
+	spec := exp.AllSpec{
+		Suite:      *table1 || *cycles || *ratios || *fig9,
+		CacheStudy: *cacheStudy,
+		Ablations:  *ablate,
+		Validate:   *validate,
+		Align:      *align,
+		Workloads:  names,
+	}
+
+	var mu sync.Mutex
+	lastLine := map[string]int{}
+	runner := &exp.Runner{
+		Parallelism: *par,
+		Progress: func(phase string, done, total int) {
+			// Report at ~10% strides so parallel runs stay readable.
+			stride := total / 10
+			if stride == 0 {
+				stride = 1
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if done != total && done < lastLine[phase]+stride {
+				return
+			}
+			lastLine[phase] = done
+			fmt.Fprintf(os.Stderr, "brbench: %s: %d/%d jobs\n", phase, done, total)
+		},
+	}
+
+	start := time.Now()
+	res, err := runner.RunAll(context.Background(), spec)
+	if err != nil {
+		fatal(err)
+	}
+	for _, ph := range res.Phases {
+		fmt.Fprintf(os.Stderr, "brbench: %-28s %8dms\n", ph.Name, ph.Millis)
+	}
+	fmt.Fprintf(os.Stderr, "brbench: total %dms on %d workers, compile cache: %d compilations, %d hits\n",
+		time.Since(start).Milliseconds(), res.Parallelism,
+		res.CompileCache.Misses, res.CompileCache.Hits)
+
 	if *table1 {
-		fmt.Println(suite.Table1())
+		fmt.Println(res.Suite.Table1())
 	}
 	if *cycles {
-		fmt.Println(suite.CycleTable([]int{3, 4, 5}))
+		fmt.Println(res.Suite.CycleTable([]int{3, 4, 5}))
 	}
 	if *ratios {
-		fmt.Println(suite.RatiosTable())
+		fmt.Println(res.Suite.RatiosTable())
 	}
 	if *fig5 {
 		fmt.Println(pipeline.FormatDelayTables(
@@ -97,51 +146,32 @@ func main() {
 		fmt.Printf("Figure 9: the target address must be calculated at least %d instructions\n"+
 			"before the transfer to avoid a pipeline delay (3 stages, 1-cycle cache).\n\n",
 			pipeline.MinCalcDistance(3, 1))
-		fmt.Println(suite.DistanceHistogram())
+		fmt.Println(res.Suite.DistanceHistogram())
 	}
 	if *cacheStudy {
-		fmt.Fprintln(os.Stderr, "running the cache study...")
-		cfgs := []cache.Config{
-			{LineWords: 4, Sets: 32, Assoc: 1, MissPenalty: 8},
-			{LineWords: 4, Sets: 16, Assoc: 2, MissPenalty: 8},
-			{LineWords: 8, Sets: 16, Assoc: 1, MissPenalty: 8},
-			{LineWords: 8, Sets: 8, Assoc: 2, MissPenalty: 8},
-			{LineWords: 8, Sets: 32, Assoc: 2, MissPenalty: 8},
-			{LineWords: 16, Sets: 16, Assoc: 2, MissPenalty: 8},
-			{LineWords: 8, Sets: 64, Assoc: 4, MissPenalty: 8},
-		}
-		res, err := exp.RunCacheStudy(opts, cfgs, nil)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(exp.CacheTable(res))
+		fmt.Println(exp.CacheTable(res.Cache))
 	}
 	if *ablate {
-		fmt.Fprintln(os.Stderr, "running the ablations...")
-		res, err := exp.RunAblations(exp.Names())
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(exp.AblationTable(res))
+		fmt.Println(exp.AblationTable(res.Ablations))
 	}
 	if *validate {
-		fmt.Fprintln(os.Stderr, "validating the cycle model against the simulation...")
-		for _, stages := range []int{3, 4} {
-			rows, err := exp.RunModelValidation(opts, stages, nil)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(exp.SimTable(rows, stages))
+		for _, v := range res.Validation {
+			fmt.Println(exp.SimTable(v.Rows, v.Stages))
 		}
 	}
 	if *align {
-		fmt.Fprintln(os.Stderr, "running the alignment study...")
-		cfg := cache.Config{LineWords: 8, Sets: 16, Assoc: 2, MissPenalty: 8}
-		rows, err := exp.RunAlignmentStudy(cfg, nil)
+		fmt.Println(exp.AlignTable(res.Alignment, res.AlignConfig))
+	}
+
+	if *jsonPath != "" {
+		b, err := res.Report().Encode()
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(exp.AlignTable(rows, cfg))
+		if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "brbench: wrote %s (%d bytes)\n", *jsonPath, len(b))
 	}
 }
 

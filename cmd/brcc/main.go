@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -58,7 +59,7 @@ func main() {
 	}
 
 	emit := func(kind isa.Kind) {
-		p, err := driver.Compile(string(src), kind, opts)
+		p, err := driver.Compile(context.Background(), string(src), kind, opts)
 		if err != nil {
 			fatal(err)
 		}

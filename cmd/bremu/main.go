@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -70,7 +71,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := driver.Run(src, kind, input, driver.DefaultOptions())
+	res, err := driver.Run(context.Background(), src, kind, input, driver.DefaultOptions())
 	if err != nil {
 		fatal(err)
 	}

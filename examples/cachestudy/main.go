@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,11 @@ func main() {
 		{LineWords: 8, Sets: 4, Assoc: 2, MissPenalty: 8},
 		{LineWords: 8, Sets: 64, Assoc: 2, MissPenalty: 8},
 	}
-	res, err := exp.RunCacheStudy(driver.DefaultOptions(), cfgs, nil)
+	// The Runner fans (config, prefetch-mode, workload) jobs over a
+	// worker pool and compiles each workload once, shared by every
+	// configuration.
+	var runner exp.Runner
+	res, err := runner.CacheStudy(context.Background(), driver.DefaultOptions(), cfgs, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

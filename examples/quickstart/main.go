@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 	fmt.Println()
 
 	for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-		res, err := driver.Run(program, kind, "", opts)
+		res, err := driver.Run(context.Background(), program, kind, "", opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,8 +61,8 @@ func main() {
 		fmt.Println()
 	}
 
-	base, _ := driver.Run(program, isa.Baseline, "", opts)
-	brm, _ := driver.Run(program, isa.BranchReg, "", opts)
+	base, _ := driver.Run(context.Background(), program, isa.Baseline, "", opts)
+	brm, _ := driver.Run(context.Background(), program, isa.BranchReg, "", opts)
 	saved := base.Stats.Instructions - brm.Stats.Instructions
 	fmt.Printf("branch registers saved %d instructions (%.1f%%) on this program\n",
 		saved, 100*float64(saved)/float64(base.Stats.Instructions))

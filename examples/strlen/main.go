@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,14 +42,14 @@ func main() {
 	fmt.Print(source)
 	fmt.Println()
 
-	base, err := driver.Compile(source, isa.Baseline, opts)
+	base, err := driver.Compile(context.Background(), source, isa.Baseline, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Figure 3: RTLs for the baseline machine (delayed branches)")
 	fmt.Println(listing(base, "strlen"))
 
-	brm, err := driver.Compile(source, isa.BranchReg, opts)
+	brm, err := driver.Compile(context.Background(), source, isa.BranchReg, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func main() {
 	fmt.Println(listing(brm, "strlen"))
 
 	for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-		res, err := driver.Run(source, kind, "", opts)
+		res, err := driver.Run(context.Background(), source, kind, "", opts)
 		if err != nil {
 			log.Fatal(err)
 		}

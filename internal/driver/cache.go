@@ -1,0 +1,119 @@
+package driver
+
+import (
+	"context"
+	"crypto/sha256"
+	"sync"
+
+	"branchreg/internal/isa"
+)
+
+// cacheKey identifies one compilation: what source, for which machine,
+// under which options. Two compilations with equal keys produce
+// instruction-identical programs, so the second one is pure waste — the
+// cache exists to make `brbench -all` (which revisits the same programs
+// for Table I, the cycle estimates, Figure 9, the cache study, and the
+// ablations) compile each (program, machine, options) at most once.
+type cacheKey struct {
+	src  [sha256.Size]byte
+	kind isa.Kind
+	opts string // Options.Fingerprint()
+}
+
+// cacheEntry is a singleflight slot: the first requester compiles while
+// later requesters wait on done.
+type cacheEntry struct {
+	done chan struct{}
+	p    *isa.Program
+	err  error
+}
+
+// CacheStats counts cache traffic. Misses counts compiler invocations and
+// Entries counts distinct keys, so Misses == Entries is the observable
+// form of the "each program compiled at most once" guarantee; Hits counts
+// requests served from a finished or in-flight compilation.
+type CacheStats struct {
+	Requests int64 `json:"requests"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int64 `json:"entries"`
+}
+
+// Cache memoizes Compile. A linked *isa.Program is never mutated after
+// Link (the emulator copies the data image into its own memory), so a
+// cached program is shared freely across goroutines; concurrent requests
+// for the same key block on a single compilation (singleflight).
+// Compilation errors are cached too: a workload with a syntax error fails
+// every variant without recompiling.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	hits    int64
+	misses  int64
+}
+
+// NewCache returns an empty compile cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// Compile returns the cached program for (src, kind, o), compiling it on
+// first request. The context governs only this caller's wait: a
+// cancelled waiter returns ctx.Err() while the in-flight compilation
+// finishes and stays cached for others.
+func (c *Cache) Compile(ctx context.Context, src string, kind isa.Kind, o Options) (*isa.Program, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := cacheKey{src: sha256.Sum256([]byte(src)), kind: kind, opts: o.Fingerprint()}
+
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.p, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e = &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	// Compile under context.Background(): the result outlives this
+	// caller, and caching a ctx.Err() would poison the entry for others.
+	e.p, e.err = Compile(context.Background(), src, kind, o)
+	close(e.done)
+	return e.p, e.err
+}
+
+// Run compiles src through the cache and executes it with the given stdin.
+func (c *Cache) Run(ctx context.Context, src string, kind isa.Kind, input string, o Options) (*Result, error) {
+	p, err := c.Compile(ctx, src, kind, o)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return RunProgram(p, input)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Requests: c.hits + c.misses,
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Entries:  int64(len(c.entries)),
+	}
+}

@@ -1,0 +1,179 @@
+package driver
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"branchreg/internal/isa"
+)
+
+const cacheTestSrc = `int main(void) { int s = 0; for (int i = 0; i < 9; i++) s += i; return s; }`
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache()
+	o := DefaultOptions()
+	const callers = 16
+	var wg sync.WaitGroup
+	progs := make([]*isa.Program, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := c.Compile(context.Background(), cacheTestSrc, isa.BranchReg, o)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("misses = %d entries = %d, want 1 compile for 1 key", st.Misses, st.Entries)
+	}
+	if st.Hits != callers-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, callers-1)
+	}
+	for _, p := range progs[1:] {
+		if p != progs[0] {
+			t.Fatal("cache returned different program pointers for one key")
+		}
+	}
+}
+
+func TestCacheKeyComponents(t *testing.T) {
+	c := NewCache()
+	o := DefaultOptions()
+	ctx := context.Background()
+	// Same source, both machines: two keys.
+	if _, err := c.Compile(ctx, cacheTestSrc, isa.Baseline, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(ctx, cacheTestSrc, isa.BranchReg, o); err != nil {
+		t.Fatal(err)
+	}
+	// Different options fingerprint: third key.
+	o2 := o
+	o2.BRM.BranchRegs = 4
+	if _, err := c.Compile(ctx, cacheTestSrc, isa.BranchReg, o2); err != nil {
+		t.Fatal(err)
+	}
+	// Different source: fourth key.
+	if _, err := c.Compile(ctx, cacheTestSrc+"\n", isa.BranchReg, o); err != nil {
+		t.Fatal(err)
+	}
+	// Repeats of all four: hits only.
+	for _, again := range []func() (*isa.Program, error){
+		func() (*isa.Program, error) { return c.Compile(ctx, cacheTestSrc, isa.Baseline, o) },
+		func() (*isa.Program, error) { return c.Compile(ctx, cacheTestSrc, isa.BranchReg, o) },
+		func() (*isa.Program, error) { return c.Compile(ctx, cacheTestSrc, isa.BranchReg, o2) },
+		func() (*isa.Program, error) { return c.Compile(ctx, cacheTestSrc+"\n", isa.BranchReg, o) },
+	} {
+		if _, err := again(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 4 || st.Entries != 4 || st.Hits != 4 {
+		t.Errorf("stats = %+v, want 4 misses, 4 entries, 4 hits", st)
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache()
+	o := DefaultOptions()
+	ctx := context.Background()
+	bad := `int main(void) { return ; }` // syntax error
+	if _, err := c.Compile(ctx, bad, isa.BranchReg, o); err == nil {
+		t.Fatal("bad source compiled")
+	}
+	if _, err := c.Compile(ctx, bad, isa.BranchReg, o); err == nil {
+		t.Fatal("bad source compiled on second request")
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("failed compilation ran %d times, want 1", st.Misses)
+	}
+}
+
+func TestCacheRespectsContext(t *testing.T) {
+	c := NewCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Compile(ctx, cacheTestSrc, isa.BranchReg, DefaultOptions()); err == nil {
+		t.Fatal("cancelled compile succeeded")
+	}
+	if st := c.Stats(); st.Requests != 0 {
+		t.Errorf("cancelled request counted: %+v", st)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Options)
+		wantErr string
+	}{
+		{"default ok", func(o *Options) {}, ""},
+		{"negative align", func(o *Options) { o.AlignWords = -4 }, "AlignWords"},
+		{"zero bregs", func(o *Options) { o.BRM.BranchRegs = 0 }, "BranchRegs"},
+		{"one breg", func(o *Options) { o.BRM.BranchRegs = 1 }, "BranchRegs"},
+		{"nine bregs", func(o *Options) { o.BRM.BranchRegs = 9 }, "BranchRegs"},
+		{"min bregs ok", func(o *Options) { o.BRM.BranchRegs = 2 }, ""},
+	}
+	for _, tc := range cases {
+		o := DefaultOptions()
+		tc.mutate(&o)
+		err := o.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %v, want mention of %s", tc.name, err, tc.wantErr)
+		}
+	}
+	// Compile must reject invalid options up front, not silently link.
+	o := DefaultOptions()
+	o.AlignWords = -1
+	if _, err := Compile(context.Background(), cacheTestSrc, isa.BranchReg, o); err == nil {
+		t.Error("Compile accepted AlignWords = -1")
+	}
+	if _, err := NewCache().Compile(context.Background(), cacheTestSrc, isa.BranchReg, o); err == nil {
+		t.Error("Cache.Compile accepted AlignWords = -1")
+	}
+}
+
+func TestFingerprintCoversOptions(t *testing.T) {
+	base := DefaultOptions()
+	variants := []func(*Options){
+		func(o *Options) { o.Opt.Fold = false },
+		func(o *Options) { o.Opt.CopyProp = false },
+		func(o *Options) { o.Opt.CSE = false },
+		func(o *Options) { o.Opt.DCE = false },
+		func(o *Options) { o.Opt.Simplify = false },
+		func(o *Options) { o.Opt.LICM = true },
+		func(o *Options) { o.BRM.Hoist = false },
+		func(o *Options) { o.BRM.ReplaceNoops = false },
+		func(o *Options) { o.BRM.Schedule = false },
+		func(o *Options) { o.BRM.BranchRegs = 4 },
+		func(o *Options) { o.BRM.FastCompare = true },
+		func(o *Options) { o.AlignWords = 8 },
+	}
+	seen := map[string]bool{base.Fingerprint(): true}
+	for i, mutate := range variants {
+		o := base
+		mutate(&o)
+		fp := o.Fingerprint()
+		if seen[fp] {
+			t.Errorf("variant %d does not change the fingerprint: %s", i, fp)
+		}
+		seen[fp] = true
+	}
+}

@@ -1,9 +1,12 @@
 // Package driver ties the tool chain together: MC source → front end →
 // IR → optimizer → code generator → linked program for either machine,
-// plus a convenience runner that executes a program under the emulator.
+// plus a convenience runner that executes a program under the emulator
+// and a concurrency-safe compile cache (see cache.go) that memoizes
+// linked programs across experiments.
 package driver
 
 import (
+	"context"
 	"fmt"
 
 	"branchreg/internal/codegen"
@@ -30,6 +33,31 @@ func DefaultOptions() Options {
 	return Options{Opt: opt.Default, BRM: core.DefaultConfig}
 }
 
+// Validate rejects option combinations the tool chain cannot honor.
+// Compile and Run call it, so nonsense (a negative alignment, an
+// unimplementable branch-register count) fails with a clear error instead
+// of silently linking a meaningless program.
+func (o Options) Validate() error {
+	if o.AlignWords < 0 {
+		return fmt.Errorf("driver: AlignWords must be >= 0, got %d", o.AlignWords)
+	}
+	if o.BRM.BranchRegs < 2 || o.BRM.BranchRegs > 8 {
+		return fmt.Errorf("driver: BranchRegs must be in [2,8] (b[0] and the RA register are reserved), got %d",
+			o.BRM.BranchRegs)
+	}
+	return nil
+}
+
+// Fingerprint returns a deterministic encoding of every option that
+// affects generated code. It is the options component of the compile
+// cache key, so any new Options field must surface here.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("opt{f=%t cp=%t cse=%t dce=%t s=%t licm=%t}|brm{h=%t rn=%t sch=%t n=%d fc=%t}|align=%d",
+		o.Opt.Fold, o.Opt.CopyProp, o.Opt.CSE, o.Opt.DCE, o.Opt.Simplify, o.Opt.LICM,
+		o.BRM.Hoist, o.BRM.ReplaceNoops, o.BRM.Schedule, o.BRM.BranchRegs, o.BRM.FastCompare,
+		o.AlignWords)
+}
+
 // Lower runs the front end and machine-independent passes.
 func Lower(src string, o Options) (*ir.Unit, error) {
 	u, err := mc.Compile(src)
@@ -46,10 +74,21 @@ func Lower(src string, o Options) (*ir.Unit, error) {
 	return iu, nil
 }
 
-// Compile compiles MC source for the given machine.
-func Compile(src string, kind isa.Kind, o Options) (*isa.Program, error) {
+// Compile compiles MC source for the given machine. The context is
+// checked between pipeline phases, so a cancelled experiment stops
+// without paying for code generation it no longer needs.
+func Compile(ctx context.Context, src string, kind isa.Kind, o Options) (*isa.Program, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	iu, err := Lower(src, o)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return CompileIR(iu, kind, o)
@@ -84,15 +123,21 @@ type Result struct {
 }
 
 // Run compiles and executes src on the given machine with the given stdin.
-func Run(src string, kind isa.Kind, input string, o Options) (*Result, error) {
-	p, err := Compile(src, kind, o)
+func Run(ctx context.Context, src string, kind isa.Kind, input string, o Options) (*Result, error) {
+	p, err := Compile(ctx, src, kind, o)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return RunProgram(p, input)
 }
 
-// RunProgram executes a linked program with the given stdin.
+// RunProgram executes a linked program with the given stdin. Linked
+// programs are read-only to the emulator (it copies the data image into
+// its own memory), so one program may be run concurrently from many
+// goroutines.
 func RunProgram(p *isa.Program, input string) (*Result, error) {
 	m, err := emu.New(p, input)
 	if err != nil {

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -189,7 +190,7 @@ func TestDifferentialExecution(t *testing.T) {
 				t.Fatalf("irexec: %v", err)
 			}
 			for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-				res, err := Run(p.src, kind, p.input, o)
+				res, err := Run(context.Background(), p.src, kind, p.input, o)
 				if err != nil {
 					t.Fatalf("%v: %v", kind, err)
 				}
@@ -226,7 +227,7 @@ func TestDifferentialAblations(t *testing.T) {
 				if err != nil {
 					t.Fatalf("irexec: %v", err)
 				}
-				res, err := Run(p.src, isa.BranchReg, p.input, o)
+				res, err := Run(context.Background(), p.src, isa.BranchReg, p.input, o)
 				if err != nil {
 					t.Fatalf("run: %v", err)
 				}
@@ -256,11 +257,11 @@ int main(void) {
     return s % 256;
 }`
 	o := DefaultOptions()
-	base, err := Run(src, isa.Baseline, "", o)
+	base, err := Run(context.Background(), src, isa.Baseline, "", o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	brm, err := Run(src, isa.BranchReg, "", o)
+	brm, err := Run(context.Background(), src, isa.BranchReg, "", o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ int main(void) {
     for (int i = 0; i < 10; i++) s = work(s + i);
     return s % 100;
 }`
-	res, err := Run(src, isa.Baseline, "", DefaultOptions())
+	res, err := Run(context.Background(), src, isa.Baseline, "", DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ int main(void) {
 	if st.Instructions == 0 || st.DataRefs() == 0 {
 		t.Error("empty stats")
 	}
-	brm, err := Run(src, isa.BranchReg, "", DefaultOptions())
+	brm, err := Run(context.Background(), src, isa.BranchReg, "", DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ int main(void) {
 	input := "the Branch Register Machine, 1990!\n"
 	want := strings.ToUpper(input)
 	for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-		res, err := Run(src, kind, input, DefaultOptions())
+		res, err := Run(context.Background(), src, kind, input, DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"testing"
 
 	"branchreg/internal/irexec"
@@ -29,11 +30,11 @@ int main(void) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rn, err := Run(src, isa.BranchReg, "", normal)
+	rn, err := Run(context.Background(), src, isa.BranchReg, "", normal)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf, err := Run(src, isa.BranchReg, "", fast)
+	rf, err := Run(context.Background(), src, isa.BranchReg, "", fast)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -18,7 +19,7 @@ func TestSuiteEncodes(t *testing.T) {
 	o := DefaultOptions()
 	for _, w := range workloads.All() {
 		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-			p, err := Compile(w.FullSource(), kind, o)
+			p, err := Compile(context.Background(), w.FullSource(), kind, o)
 			if err != nil {
 				t.Fatalf("%s/%v: %v", w.Name, kind, err)
 			}
@@ -181,7 +182,7 @@ func TestFuzzDifferential(t *testing.T) {
 			t.Fatalf("iteration %d: irexec: %v\nprogram:\n%s", i, err, src)
 		}
 		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-			res, err := Run(src, kind, "", o)
+			res, err := Run(context.Background(), src, kind, "", o)
 			if err != nil {
 				t.Fatalf("iteration %d on %v: %v\nprogram:\n%s", i, kind, err, src)
 			}

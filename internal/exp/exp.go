@@ -7,14 +7,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"branchreg/internal/cache"
 	"branchreg/internal/driver"
 	"branchreg/internal/emu"
-	"branchreg/internal/isa"
 	"branchreg/internal/pipeline"
 	"branchreg/internal/workloads"
 )
@@ -35,46 +36,45 @@ type SuiteResult struct {
 
 // RunSuite compiles and executes every workload on both machines,
 // verifying that outputs agree.
+//
+// Deprecated: use Runner.Run, which parallelizes and caches compilations.
+// RunSuite is the serial reference path (one worker).
 func RunSuite(o driver.Options) (*SuiteResult, error) {
 	return RunSuiteSubset(o, nil)
 }
 
 // RunSuiteSubset runs only the named workloads (nil = all).
+//
+// Deprecated: use Runner.Run with Spec.Workloads. RunSuiteSubset is the
+// serial reference path (one worker).
 func RunSuiteSubset(o driver.Options, names []string) (*SuiteResult, error) {
-	want := map[string]bool{}
-	for _, n := range names {
-		want[n] = true
-	}
-	res := &SuiteResult{}
-	for _, w := range workloads.All() {
-		if names != nil && !want[w.Name] {
-			continue
-		}
-		src := w.FullSource()
-		base, err := driver.Run(src, isa.Baseline, w.Input, o)
-		if err != nil {
-			return nil, fmt.Errorf("exp: %s on baseline: %w", w.Name, err)
-		}
-		brm, err := driver.Run(src, isa.BranchReg, w.Input, o)
-		if err != nil {
-			return nil, fmt.Errorf("exp: %s on BRM: %w", w.Name, err)
-		}
-		if base.Output != brm.Output || base.Status != brm.Status {
-			return nil, fmt.Errorf("exp: %s: machines disagree", w.Name)
-		}
-		res.Programs = append(res.Programs, ProgramResult{
-			Name: w.Name, Baseline: base.Stats, BRM: brm.Stats})
-		res.BaselineTotal.Add(&base.Stats)
-		res.BRMTotal.Add(&brm.Stats)
-	}
-	return res, nil
+	r := Runner{Parallelism: 1}
+	return r.Run(context.Background(), Spec{Workloads: names, Options: o})
 }
 
+// pct returns the percentage change from old to new. A degenerate cell
+// (old == 0 with new != 0) reports ±Inf — rendered as "n/a" by fmtPct and
+// as a string by the JSON schema — so it cannot read as "no change".
 func pct(new, old int64) float64 {
 	if old == 0 {
-		return 0
+		if new == 0 {
+			return 0
+		}
+		if new > 0 {
+			return math.Inf(1)
+		}
+		return math.Inf(-1)
 	}
 	return 100 * float64(new-old) / float64(old)
+}
+
+// fmtPct renders a pct value for the tables, spelling out degenerate
+// cells instead of faking a number.
+func fmtPct(v float64) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", v)
 }
 
 // Table1 renders the paper's Table I: dynamic instructions and data
@@ -86,19 +86,19 @@ func (r *SuiteResult) Table1() string {
 	fmt.Fprintf(&b, "%-12s %15s %15s %8s   %15s %15s %8s\n",
 		"program", "base insts", "BRM insts", "diff%", "base datarefs", "BRM datarefs", "diff%")
 	for _, p := range r.Programs {
-		fmt.Fprintf(&b, "%-12s %15d %15d %7.1f%%   %15d %15d %7.1f%%\n",
+		fmt.Fprintf(&b, "%-12s %15d %15d %8s   %15d %15d %8s\n",
 			p.Name,
 			p.Baseline.Instructions, p.BRM.Instructions,
-			pct(p.BRM.Instructions, p.Baseline.Instructions),
+			fmtPct(pct(p.BRM.Instructions, p.Baseline.Instructions)),
 			p.Baseline.DataRefs(), p.BRM.DataRefs(),
-			pct(p.BRM.DataRefs(), p.Baseline.DataRefs()))
+			fmtPct(pct(p.BRM.DataRefs(), p.Baseline.DataRefs())))
 	}
-	fmt.Fprintf(&b, "%-12s %15d %15d %7.1f%%   %15d %15d %7.1f%%\n",
+	fmt.Fprintf(&b, "%-12s %15d %15d %8s   %15d %15d %8s\n",
 		"TOTAL",
 		r.BaselineTotal.Instructions, r.BRMTotal.Instructions,
-		pct(r.BRMTotal.Instructions, r.BaselineTotal.Instructions),
+		fmtPct(pct(r.BRMTotal.Instructions, r.BaselineTotal.Instructions)),
 		r.BaselineTotal.DataRefs(), r.BRMTotal.DataRefs(),
-		pct(r.BRMTotal.DataRefs(), r.BaselineTotal.DataRefs()))
+		fmtPct(pct(r.BRMTotal.DataRefs(), r.BaselineTotal.DataRefs())))
 	return b.String()
 }
 
@@ -239,42 +239,12 @@ type CacheResult struct {
 // subset) on the BRM against each cache configuration, with and without
 // prefetch-on-assignment, returning delay cycles and pollution per
 // configuration.
+//
+// Deprecated: use Runner.CacheStudy, which parallelizes and caches
+// compilations. RunCacheStudy is the serial reference path (one worker).
 func RunCacheStudy(o driver.Options, cfgs []cache.Config, names []string) ([]CacheResult, error) {
-	if names == nil {
-		names = []string{"dhrystone", "matmult", "grep", "sort", "tinycc"}
-	}
-	var out []CacheResult
-	for _, cfg := range cfgs {
-		for _, pre := range []bool{false, true} {
-			total := cache.Stats{}
-			for _, name := range names {
-				w, ok := workloads.ByName(name)
-				if !ok {
-					return nil, fmt.Errorf("exp: unknown workload %s", name)
-				}
-				p, err := driver.Compile(w.FullSource(), isa.BranchReg, o)
-				if err != nil {
-					return nil, err
-				}
-				m, err := emu.New(p, w.Input)
-				if err != nil {
-					return nil, err
-				}
-				ic := cache.New(cfg)
-				m.Hooks.Fetch = func(addr int32) { ic.Fetch(addr) }
-				if pre {
-					m.Hooks.Prefetch = func(addr int32) { ic.Prefetch(addr) }
-				}
-				if _, err := m.Run(); err != nil {
-					return nil, err
-				}
-				ic.Flush()
-				addCache(&total, &ic.Stats)
-			}
-			out = append(out, CacheResult{Config: cfg, Prefetch: pre, Stats: total})
-		}
-	}
-	return out, nil
+	r := Runner{Parallelism: 1}
+	return r.CacheStudy(context.Background(), o, cfgs, names)
 }
 
 func addCache(dst, src *cache.Stats) {
@@ -322,61 +292,12 @@ type AblationResult struct {
 
 // RunAblations measures the paper's §9 design alternatives: each
 // optimization disabled, and fewer branch registers.
+//
+// Deprecated: use Runner.Ablations, which parallelizes and caches
+// compilations. RunAblations is the serial reference path (one worker).
 func RunAblations(names []string) ([]AblationResult, error) {
-	base := driver.DefaultOptions()
-	type variant struct {
-		name string
-		o    driver.Options
-	}
-	variants := []variant{
-		{"full (8 bregs)", base},
-	}
-	v := base
-	v.BRM.Hoist = false
-	variants = append(variants, variant{"no hoisting", v})
-	v = base
-	v.BRM.ReplaceNoops = false
-	variants = append(variants, variant{"no noop replacement", v})
-	v = base
-	v.BRM.Schedule = false
-	variants = append(variants, variant{"no calc scheduling", v})
-	for _, n := range []int{6, 4, 3} {
-		v = base
-		v.BRM.BranchRegs = n
-		variants = append(variants, variant{fmt.Sprintf("%d branch registers", n), v})
-	}
-	v = base
-	v.BRM.FastCompare = true
-	variants = append(variants, variant{"fast compare (§9)", v})
-	v = base
-	v.Opt.LICM = true
-	variants = append(variants, variant{"with LICM (§10)", v})
-
-	var out []AblationResult
-	m3 := pipeline.Model{Stages: 3}
-	for _, vr := range variants {
-		var total emu.Stats
-		for _, name := range names {
-			w, ok := workloads.ByName(name)
-			if !ok {
-				return nil, fmt.Errorf("exp: unknown workload %s", name)
-			}
-			res, err := driver.Run(w.FullSource(), isa.BranchReg, w.Input, vr.o)
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s under %s: %w", name, vr.name, err)
-			}
-			total.Add(&res.Stats)
-		}
-		out = append(out, AblationResult{
-			Name:         vr.name,
-			Instructions: total.Instructions,
-			DataRefs:     total.DataRefs(),
-			Cycles3:      m3.BRMCycles(&total),
-			BrCalcs:      total.BrCalcs,
-			Noops:        total.Noops,
-		})
-	}
-	return out, nil
+	r := Runner{Parallelism: 1}
+	return r.Ablations(context.Background(), names)
 }
 
 // AblationTable renders ablation results.

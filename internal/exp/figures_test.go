@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ int main(void) { return strlen(text); }
 
 func compileFn(t *testing.T, kind isa.Kind) *isa.Function {
 	t.Helper()
-	p, err := driver.Compile(strlenSrc, kind, driver.DefaultOptions())
+	p, err := driver.Compile(context.Background(), strlenSrc, kind, driver.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +118,11 @@ func TestStrlenLoopShorter(t *testing.T) {
 	// Run on a longer string so loop iterations dominate.
 	src := strings.Replace(strlenSrc, `"branch registers"`, `"branch registers!!"`, 1)
 	src = strings.Replace(src, "char text[20]", "char text[20]", 1)
-	base, err := driver.Run(src, isa.Baseline, "", o)
+	base, err := driver.Run(context.Background(), src, isa.Baseline, "", o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	brm, err := driver.Run(src, isa.BranchReg, "", o)
+	brm, err := driver.Run(context.Background(), src, isa.BranchReg, "", o)
 	if err != nil {
 		t.Fatal(err)
 	}

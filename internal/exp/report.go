@@ -1,0 +1,406 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"branchreg/internal/cache"
+	"branchreg/internal/driver"
+	"branchreg/internal/emu"
+)
+
+// ReportSchemaVersion identifies the JSON layout emitted by Report. Bump
+// it on any incompatible change so committed BENCH_<n>.json files remain
+// interpretable across PRs.
+const ReportSchemaVersion = 1
+
+// Float is a float64 that survives JSON: non-finite values (the ±Inf a
+// degenerate percentage cell reports, see pct) marshal as the strings
+// "+Inf"/"-Inf"/"NaN" instead of failing encoding/json, and unmarshal
+// back to the same value.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"+Inf"`:
+		*f = Float(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = Float(math.Inf(-1))
+		return nil
+	case `"NaN"`:
+		*f = Float(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("exp: Float: %w", err)
+	}
+	*f = Float(v)
+	return nil
+}
+
+// AllSpec selects which experiment phases RunAll executes and how.
+type AllSpec struct {
+	Suite      bool // Table I, cycle estimates, ratios, Figure 9
+	CacheStudy bool // §8/§9 instruction-cache study
+	Ablations  bool // §9 design alternatives
+	Validate   bool // cycle model vs dynamic pipeline simulation
+	Align      bool // §9 function-entry alignment
+
+	// Workloads filters every phase by name (nil = each phase's default:
+	// the full suite for Suite and Ablations, representative subsets for
+	// the studies).
+	Workloads []string
+	// Options configures the compiler (zero value = DefaultOptions).
+	Options driver.Options
+	// CacheConfigs are the organizations the cache study sweeps
+	// (nil = DefaultCacheConfigs).
+	CacheConfigs []cache.Config
+	// ValidateStages are the pipeline depths validated (nil = 3 and 4).
+	ValidateStages []int
+	// AlignConfig is the alignment study's cache (zero = a small 2-way
+	// organization where alignment effects are visible).
+	AlignConfig cache.Config
+}
+
+// DefaultCacheConfigs returns the cache study's standard sweep.
+func DefaultCacheConfigs() []cache.Config {
+	return []cache.Config{
+		{LineWords: 4, Sets: 32, Assoc: 1, MissPenalty: 8},
+		{LineWords: 4, Sets: 16, Assoc: 2, MissPenalty: 8},
+		{LineWords: 8, Sets: 16, Assoc: 1, MissPenalty: 8},
+		{LineWords: 8, Sets: 8, Assoc: 2, MissPenalty: 8},
+		{LineWords: 8, Sets: 32, Assoc: 2, MissPenalty: 8},
+		{LineWords: 16, Sets: 16, Assoc: 2, MissPenalty: 8},
+		{LineWords: 8, Sets: 64, Assoc: 4, MissPenalty: 8},
+	}
+}
+
+// PhaseTime records one phase's wall clock.
+type PhaseTime struct {
+	Name   string `json:"name"`
+	Millis int64  `json:"millis"`
+}
+
+// ValidationResult groups model-validation rows by pipeline depth.
+type ValidationResult struct {
+	Stages int
+	Rows   []SimRow
+}
+
+// AllResults bundles every phase RunAll executed, ready for table
+// rendering (the existing SuiteResult/CacheTable/... methods) or JSON
+// export via Report.
+type AllResults struct {
+	Workloads    []string // suite workload names measured (suite phase)
+	Parallelism  int
+	Suite        *SuiteResult
+	CacheConfigs []cache.Config
+	Cache        []CacheResult
+	Ablations    []AblationResult
+	Validation   []ValidationResult
+	Alignment    []AlignRow
+	AlignConfig  cache.Config
+	CompileCache driver.CacheStats
+	Phases       []PhaseTime
+}
+
+// RunAll executes the selected phases sequentially, each internally
+// parallel over the Runner's pool and all sharing its compile cache, so
+// a full `brbench -all` compiles each (program, machine, options) at
+// most once. Per-phase wall clock lands in AllResults.Phases.
+func (r *Runner) RunAll(ctx context.Context, spec AllSpec) (*AllResults, error) {
+	if spec.Options == (driver.Options{}) {
+		spec.Options = driver.DefaultOptions()
+	}
+	if spec.CacheConfigs == nil {
+		spec.CacheConfigs = DefaultCacheConfigs()
+	}
+	if spec.ValidateStages == nil {
+		spec.ValidateStages = []int{3, 4}
+	}
+	if spec.AlignConfig == (cache.Config{}) {
+		spec.AlignConfig = cache.Config{LineWords: 8, Sets: 16, Assoc: 2, MissPenalty: 8}
+	}
+	out := &AllResults{Parallelism: r.workers(0)}
+	phase := func(name string, f func() error) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return err
+		}
+		out.Phases = append(out.Phases, PhaseTime{Name: name, Millis: time.Since(start).Milliseconds()})
+		return nil
+	}
+
+	if spec.Suite {
+		if err := phase("suite", func() error {
+			s, err := r.Run(ctx, Spec{Workloads: spec.Workloads, Options: spec.Options})
+			if err != nil {
+				return err
+			}
+			out.Suite = s
+			for _, p := range s.Programs {
+				out.Workloads = append(out.Workloads, p.Name)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if spec.CacheStudy {
+		if err := phase("cache study", func() error {
+			res, err := r.CacheStudy(ctx, spec.Options, spec.CacheConfigs, spec.Workloads)
+			if err != nil {
+				return err
+			}
+			out.CacheConfigs, out.Cache = spec.CacheConfigs, res
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if spec.Ablations {
+		if err := phase("ablations", func() error {
+			names := spec.Workloads
+			if names == nil {
+				names = Names()
+			}
+			res, err := r.Ablations(ctx, names)
+			if err != nil {
+				return err
+			}
+			out.Ablations = res
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if spec.Validate {
+		for _, stages := range spec.ValidateStages {
+			stages := stages
+			if err := phase(fmt.Sprintf("model validation (%d stages)", stages), func() error {
+				rows, err := r.ModelValidation(ctx, spec.Options, stages, spec.Workloads)
+				if err != nil {
+					return err
+				}
+				out.Validation = append(out.Validation, ValidationResult{Stages: stages, Rows: rows})
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if spec.Align {
+		if err := phase("alignment study", func() error {
+			rows, err := r.AlignmentStudy(ctx, spec.AlignConfig, spec.Workloads)
+			if err != nil {
+				return err
+			}
+			out.Alignment, out.AlignConfig = rows, spec.AlignConfig
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out.CompileCache = r.cache().Stats()
+	return out, nil
+}
+
+// ---- JSON schema ----
+
+// Report is the versioned machine-readable form of AllResults, the
+// payload of `brbench -json` (commit one as BENCH_<n>.json to track the
+// performance trajectory across PRs).
+type Report struct {
+	Schema       int                `json:"schema"`
+	Tool         string             `json:"tool"`
+	Parallelism  int                `json:"parallelism"`
+	Workloads    []string           `json:"workloads,omitempty"`
+	Suite        *SuiteReport       `json:"suite,omitempty"`
+	CacheStudy   []CacheStudyRow    `json:"cache_study,omitempty"`
+	Ablations    []AblationResult   `json:"ablations,omitempty"`
+	Validation   []ValidationReport `json:"validation,omitempty"`
+	Alignment    *AlignmentReport   `json:"alignment,omitempty"`
+	CompileCache driver.CacheStats  `json:"compile_cache"`
+	Phases       []PhaseTime        `json:"phases,omitempty"`
+}
+
+// SuiteReport is Table I, the §7 cycle estimates and ratios, and
+// Figure 9's histogram in one object.
+type SuiteReport struct {
+	Programs              []ProgramReport `json:"programs"`
+	BaselineTotal         emu.Stats       `json:"baseline_total"`
+	BRMTotal              emu.Stats       `json:"brm_total"`
+	InstructionSavingsPct Float           `json:"instruction_savings_pct"`
+	ExtraDataRefsPct      Float           `json:"extra_data_refs_pct"`
+	Cycles                []CycleReport   `json:"cycles"`
+	Ratios                RatiosReport    `json:"ratios"`
+	DistHist              []int64         `json:"dist_hist"`
+	MinPrefetchDist       int             `json:"min_prefetch_dist"`
+}
+
+// ProgramReport is one Table I row.
+type ProgramReport struct {
+	Name           string    `json:"name"`
+	Baseline       emu.Stats `json:"baseline"`
+	BRM            emu.Stats `json:"brm"`
+	InstDiffPct    Float     `json:"inst_diff_pct"`
+	DataRefDiffPct Float     `json:"data_ref_diff_pct"`
+}
+
+// CycleReport is one §7 cycle-estimate row.
+type CycleReport struct {
+	Stages         int   `json:"stages"`
+	BaselineCycles int64 `json:"baseline_cycles"`
+	BRMCycles      int64 `json:"brm_cycles"`
+	SavingsPct     Float `json:"savings_pct"`
+}
+
+// RatiosReport mirrors Ratios with JSON-safe floats.
+type RatiosReport struct {
+	TransferPct        Float `json:"transfer_pct"`
+	TransfersPerCalc   Float `json:"transfers_per_calc"`
+	NoopReplacedPct    Float `json:"noop_replaced_pct"`
+	SavedPerExtraRef   Float `json:"saved_per_extra_ref"`
+	DelayedTransferPct Float `json:"delayed_transfer_pct"`
+}
+
+// CacheStudyRow is one (organization, prefetch-mode) measurement.
+type CacheStudyRow struct {
+	Config   cache.Config `json:"config"`
+	Prefetch bool         `json:"prefetch"`
+	Stats    cache.Stats  `json:"stats"`
+}
+
+// ValidationReport is the model-vs-simulation comparison at one depth.
+type ValidationReport struct {
+	Stages int            `json:"stages"`
+	Rows   []SimRowReport `json:"rows"`
+}
+
+// SimRowReport is one model-validation row.
+type SimRowReport struct {
+	Name          string `json:"name"`
+	Machine       string `json:"machine"`
+	ModelCycles   int64  `json:"model_cycles"`
+	SimCycles     int64  `json:"sim_cycles"`
+	OverchargePct Float  `json:"overcharge_pct"`
+}
+
+// AlignmentReport is the §9 alignment study.
+type AlignmentReport struct {
+	Config cache.Config `json:"config"`
+	Rows   []AlignRow   `json:"rows"`
+}
+
+// Report converts the results to the versioned JSON schema.
+func (a *AllResults) Report() *Report {
+	rep := &Report{
+		Schema:       ReportSchemaVersion,
+		Tool:         "brbench",
+		Parallelism:  a.Parallelism,
+		Workloads:    a.Workloads,
+		CompileCache: a.CompileCache,
+		Phases:       a.Phases,
+	}
+	if s := a.Suite; s != nil {
+		sr := &SuiteReport{
+			BaselineTotal:         s.BaselineTotal,
+			BRMTotal:              s.BRMTotal,
+			InstructionSavingsPct: Float(s.InstructionSavings()),
+			ExtraDataRefsPct:      Float(s.ExtraDataRefs()),
+			DistHist:              append([]int64(nil), s.BRMTotal.DistHist[:]...),
+			MinPrefetchDist:       emu.MinPrefetchDist,
+		}
+		for _, p := range s.Programs {
+			sr.Programs = append(sr.Programs, ProgramReport{
+				Name:           p.Name,
+				Baseline:       p.Baseline,
+				BRM:            p.BRM,
+				InstDiffPct:    Float(pct(p.BRM.Instructions, p.Baseline.Instructions)),
+				DataRefDiffPct: Float(pct(p.BRM.DataRefs(), p.Baseline.DataRefs())),
+			})
+		}
+		for _, row := range s.Cycles([]int{3, 4, 5}) {
+			sr.Cycles = append(sr.Cycles, CycleReport{
+				Stages:         row.Stages,
+				BaselineCycles: row.BaselineCycles,
+				BRMCycles:      row.BRMCycles,
+				SavingsPct:     Float(row.SavingsPercent),
+			})
+		}
+		rt := s.ComputeRatios()
+		sr.Ratios = RatiosReport{
+			TransferPct:        Float(rt.TransferPercent),
+			TransfersPerCalc:   Float(rt.TransfersPerCalc),
+			NoopReplacedPct:    Float(rt.NoopReplacedPercent),
+			SavedPerExtraRef:   Float(rt.SavedPerExtraRef),
+			DelayedTransferPct: Float(rt.DelayedTransferPct),
+		}
+		rep.Suite = sr
+	}
+	for _, c := range a.Cache {
+		rep.CacheStudy = append(rep.CacheStudy, CacheStudyRow{
+			Config: c.Config, Prefetch: c.Prefetch, Stats: c.Stats})
+	}
+	rep.Ablations = a.Ablations
+	for _, v := range a.Validation {
+		vr := ValidationReport{Stages: v.Stages}
+		for _, row := range v.Rows {
+			vr.Rows = append(vr.Rows, SimRowReport{
+				Name:          row.Name,
+				Machine:       machineLabel(row.Kind),
+				ModelCycles:   row.ModelCycles,
+				SimCycles:     row.SimCycles,
+				OverchargePct: Float(row.OverchargePct),
+			})
+		}
+		rep.Validation = append(rep.Validation, vr)
+	}
+	if a.Alignment != nil {
+		rep.Alignment = &AlignmentReport{Config: a.AlignConfig, Rows: a.Alignment}
+	}
+	return rep
+}
+
+// Encode renders the report as indented JSON with a trailing newline.
+func (rep *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeReport parses JSON produced by Encode, rejecting unknown schema
+// versions.
+func DecodeReport(b []byte) (*Report, error) {
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("exp: report: %w", err)
+	}
+	if rep.Schema != ReportSchemaVersion {
+		return nil, fmt.Errorf("exp: report schema %d, this build reads %d", rep.Schema, ReportSchemaVersion)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,447 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"branchreg/internal/cache"
+	"branchreg/internal/driver"
+	"branchreg/internal/emu"
+	"branchreg/internal/isa"
+	"branchreg/internal/pipeline"
+	"branchreg/internal/workloads"
+)
+
+// Spec selects what Runner.Run measures: which workloads, on which
+// machines, compiled how, with how much parallelism.
+type Spec struct {
+	// Workloads filters the suite by name (nil = every workload).
+	Workloads []string
+	// Suite is the workload set the filter applies to (nil =
+	// workloads.All()). Tests inject synthetic workloads here.
+	Suite []workloads.Workload
+	// Machines is the machine set (nil = baseline and BRM). Output
+	// agreement is verified only when both machines are present.
+	Machines []isa.Kind
+	// Options configures the compiler for every job.
+	Options driver.Options
+	// Parallelism overrides the Runner's worker count when > 0.
+	Parallelism int
+}
+
+// Runner executes experiment jobs over a bounded worker pool, memoizing
+// compilations in a shared cache. The zero value is ready to use: it
+// compiles through a private cache with GOMAXPROCS workers. Results are
+// merged in deterministic workload order, so a Runner's output is
+// byte-identical to the serial path regardless of parallelism.
+type Runner struct {
+	// Cache memoizes compilations across every experiment run through
+	// this Runner (nil = a private cache, created on first use).
+	Cache *driver.Cache
+	// Parallelism bounds the worker pool (<= 0 = runtime.GOMAXPROCS(0)).
+	Parallelism int
+	// Progress, when set, observes job completions: phase names the
+	// experiment, done/total count jobs. Called from worker goroutines.
+	Progress func(phase string, done, total int)
+
+	cacheOnce sync.Once
+}
+
+func (r *Runner) cache() *driver.Cache {
+	r.cacheOnce.Do(func() {
+		if r.Cache == nil {
+			r.Cache = driver.NewCache()
+		}
+	})
+	return r.Cache
+}
+
+func (r *Runner) workers(override int) int {
+	n := r.Parallelism
+	if override > 0 {
+		n = override
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// runJobs fans total jobs out over n workers. The first job error (lowest
+// job index, for determinism) cancels the pool; later workers stop before
+// starting their next job. Cancellation fallout from jobs that were
+// already in flight when the pool aborted is never reported as the cause.
+func (r *Runner) runJobs(parent context.Context, phase string, n, total int, job func(ctx context.Context, i int) error) error {
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	if n > total {
+		n = total
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+		done     int
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := job(ctx, i); err != nil {
+					if !errors.Is(err, context.Canceled) {
+						mu.Lock()
+						if firstErr == nil || i < firstIdx {
+							firstErr, firstIdx = err, i
+						}
+						mu.Unlock()
+					}
+					cancel()
+					return
+				}
+				mu.Lock()
+				done++
+				d := done
+				mu.Unlock()
+				if r.Progress != nil {
+					r.Progress(phase, d, total)
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			i = total
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return parent.Err()
+}
+
+// selectWorkloads resolves a Spec's workload set in deterministic suite
+// order, rejecting unknown names.
+func selectWorkloads(suite []workloads.Workload, names []string) ([]workloads.Workload, error) {
+	if suite == nil {
+		suite = workloads.All()
+	}
+	if names == nil {
+		return suite, nil
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []workloads.Workload
+	for _, w := range suite {
+		if want[w.Name] {
+			out = append(out, w)
+			delete(want, w.Name)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("exp: unknown workload %s", n)
+	}
+	return out, nil
+}
+
+func machineLabel(kind isa.Kind) string {
+	if kind == isa.Baseline {
+		return "baseline"
+	}
+	return "BRM"
+}
+
+// Run executes the suite described by spec: every (workload, machine)
+// pair becomes one pool job, per-program results are merged in suite
+// order, and when both machines are present their outputs must agree
+// exactly as the serial path demanded.
+func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
+	if err := spec.Options.Validate(); err != nil {
+		return nil, err
+	}
+	sel, err := selectWorkloads(spec.Suite, spec.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	machines := spec.Machines
+	if machines == nil {
+		machines = []isa.Kind{isa.Baseline, isa.BranchReg}
+	}
+
+	results := make([]*driver.Result, len(sel)*len(machines))
+	err = r.runJobs(ctx, "suite", r.workers(spec.Parallelism), len(results),
+		func(ctx context.Context, i int) error {
+			w := sel[i/len(machines)]
+			kind := machines[i%len(machines)]
+			res, err := r.cache().Run(ctx, w.FullSource(), kind, w.Input, spec.Options)
+			if err != nil {
+				return fmt.Errorf("exp: %s on %s: %w", w.Name, machineLabel(kind), err)
+			}
+			results[i] = res
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: suite order, verifying machine agreement.
+	out := &SuiteResult{}
+	for wi, w := range sel {
+		pr := ProgramResult{Name: w.Name}
+		var first *driver.Result
+		for mi, kind := range machines {
+			res := results[wi*len(machines)+mi]
+			if first == nil {
+				first = res
+			} else if res.Output != first.Output || res.Status != first.Status {
+				return nil, fmt.Errorf("exp: %s: machines disagree", w.Name)
+			}
+			switch kind {
+			case isa.Baseline:
+				pr.Baseline = res.Stats
+				out.BaselineTotal.Add(&res.Stats)
+			default:
+				pr.BRM = res.Stats
+				out.BRMTotal.Add(&res.Stats)
+			}
+		}
+		out.Programs = append(out.Programs, pr)
+	}
+	return out, nil
+}
+
+// CacheStudy is the parallel form of RunCacheStudy: every
+// (configuration, prefetch, workload) triple is one pool job, merged per
+// configuration in workload order.
+func (r *Runner) CacheStudy(ctx context.Context, o driver.Options, cfgs []cache.Config, names []string) ([]CacheResult, error) {
+	if names == nil {
+		names = []string{"dhrystone", "matmult", "grep", "sort", "tinycc"}
+	}
+	sel, err := selectWorkloads(nil, names)
+	if err != nil {
+		return nil, err
+	}
+	modes := []bool{false, true}
+	type cell struct{ stats cache.Stats }
+	cells := make([]cell, len(cfgs)*len(modes)*len(sel))
+	err = r.runJobs(ctx, "cache study", r.workers(0), len(cells),
+		func(ctx context.Context, i int) error {
+			cfg := cfgs[i/(len(modes)*len(sel))]
+			pre := modes[(i/len(sel))%len(modes)]
+			w := sel[i%len(sel)]
+			st, err := r.cachedRunWithICache(ctx, w, o, cfg, pre)
+			if err != nil {
+				return err
+			}
+			cells[i].stats = st
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []CacheResult
+	for ci, cfg := range cfgs {
+		for mi, pre := range modes {
+			total := cache.Stats{}
+			for wi := range sel {
+				addCache(&total, &cells[(ci*len(modes)+mi)*len(sel)+wi].stats)
+			}
+			out = append(out, CacheResult{Config: cfg, Prefetch: pre, Stats: total})
+		}
+	}
+	return out, nil
+}
+
+// cachedRunWithICache compiles w for the BRM through the compile cache
+// and emulates it against one instruction-cache configuration.
+func (r *Runner) cachedRunWithICache(ctx context.Context, w workloads.Workload, o driver.Options, cfg cache.Config, prefetch bool) (cache.Stats, error) {
+	p, err := r.cache().Compile(ctx, w.FullSource(), isa.BranchReg, o)
+	if err != nil {
+		return cache.Stats{}, err
+	}
+	m, err := emu.New(p, w.Input)
+	if err != nil {
+		return cache.Stats{}, err
+	}
+	ic := cache.New(cfg)
+	m.Hooks.Fetch = func(addr int32) { ic.Fetch(addr) }
+	if prefetch {
+		m.Hooks.Prefetch = func(addr int32) { ic.Prefetch(addr) }
+	}
+	if _, err := m.Run(); err != nil {
+		return cache.Stats{}, err
+	}
+	ic.Flush()
+	return ic.Stats, nil
+}
+
+// Ablations is the parallel form of RunAblations: every (variant,
+// workload) pair is one pool job, merged per variant in workload order.
+func (r *Runner) Ablations(ctx context.Context, names []string) ([]AblationResult, error) {
+	sel, err := selectWorkloads(nil, names)
+	if err != nil {
+		return nil, err
+	}
+	variants := ablationVariants()
+	stats := make([]emu.Stats, len(variants)*len(sel))
+	err = r.runJobs(ctx, "ablations", r.workers(0), len(stats),
+		func(ctx context.Context, i int) error {
+			vr := variants[i/len(sel)]
+			w := sel[i%len(sel)]
+			res, err := r.cache().Run(ctx, w.FullSource(), isa.BranchReg, w.Input, vr.o)
+			if err != nil {
+				return fmt.Errorf("exp: %s under %s: %w", w.Name, vr.name, err)
+			}
+			stats[i] = res.Stats
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationResult
+	m3 := pipeline.Model{Stages: 3}
+	for vi, vr := range variants {
+		var total emu.Stats
+		for wi := range sel {
+			total.Add(&stats[vi*len(sel)+wi])
+		}
+		out = append(out, AblationResult{
+			Name:         vr.name,
+			Instructions: total.Instructions,
+			DataRefs:     total.DataRefs(),
+			Cycles3:      m3.BRMCycles(&total),
+			BrCalcs:      total.BrCalcs,
+			Noops:        total.Noops,
+		})
+	}
+	return out, nil
+}
+
+// ModelValidation is the parallel form of RunModelValidation: every
+// (workload, machine) pair runs the analytic model and the dynamic
+// pipeline simulation side by side on one pool job.
+func (r *Runner) ModelValidation(ctx context.Context, o driver.Options, stages int, names []string) ([]SimRow, error) {
+	if names == nil {
+		names = []string{"wc", "grep", "matmult", "dhrystone", "sieve"}
+	}
+	sel, err := selectWorkloads(nil, names)
+	if err != nil {
+		return nil, err
+	}
+	kinds := []isa.Kind{isa.Baseline, isa.BranchReg}
+	rows := make([]SimRow, len(sel)*len(kinds))
+	err = r.runJobs(ctx, "model validation", r.workers(0), len(rows),
+		func(ctx context.Context, i int) error {
+			w := sel[i/len(kinds)]
+			kind := kinds[i%len(kinds)]
+			p, err := r.cache().Compile(ctx, w.FullSource(), kind, o)
+			if err != nil {
+				return err
+			}
+			cmp, err := pipeline.CompareModel(ctx, p, w.Input, stages)
+			if err != nil {
+				return err
+			}
+			rows[i] = SimRow{Name: w.Name, Kind: kind,
+				ModelCycles: cmp.ModelCycles, SimCycles: cmp.SimCycles,
+				OverchargePct: cmp.OverchargePct}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// AlignmentStudy is the parallel form of RunAlignmentStudy: every
+// (alignment, workload) pair is one pool job.
+func (r *Runner) AlignmentStudy(ctx context.Context, cfg cache.Config, names []string) ([]AlignRow, error) {
+	if names == nil {
+		names = []string{"dhrystone", "grep", "tinycc"}
+	}
+	sel, err := selectWorkloads(nil, names)
+	if err != nil {
+		return nil, err
+	}
+	aligns := []int{0, cfg.LineWords}
+	cells := make([]cache.Stats, len(aligns)*len(sel))
+	err = r.runJobs(ctx, "alignment study", r.workers(0), len(cells),
+		func(ctx context.Context, i int) error {
+			o := driver.DefaultOptions()
+			o.AlignWords = aligns[i/len(sel)]
+			st, err := r.cachedRunWithICache(ctx, sel[i%len(sel)], o, cfg, true)
+			if err != nil {
+				return err
+			}
+			cells[i] = st
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []AlignRow
+	for ai, align := range aligns {
+		var total cache.Stats
+		for wi := range sel {
+			addCache(&total, &cells[ai*len(sel)+wi])
+		}
+		out = append(out, AlignRow{AlignWords: align,
+			DelayCycles: total.DelayCycles,
+			Misses:      total.Misses + total.PartialWaits})
+	}
+	return out, nil
+}
+
+// ablationVariants enumerates the §9 design alternatives in report order.
+func ablationVariants() []struct {
+	name string
+	o    driver.Options
+} {
+	base := driver.DefaultOptions()
+	type variant = struct {
+		name string
+		o    driver.Options
+	}
+	variants := []variant{
+		{"full (8 bregs)", base},
+	}
+	v := base
+	v.BRM.Hoist = false
+	variants = append(variants, variant{"no hoisting", v})
+	v = base
+	v.BRM.ReplaceNoops = false
+	variants = append(variants, variant{"no noop replacement", v})
+	v = base
+	v.BRM.Schedule = false
+	variants = append(variants, variant{"no calc scheduling", v})
+	for _, n := range []int{6, 4, 3} {
+		v = base
+		v.BRM.BranchRegs = n
+		variants = append(variants, variant{fmt.Sprintf("%d branch registers", n), v})
+	}
+	v = base
+	v.BRM.FastCompare = true
+	variants = append(variants, variant{"fast compare (§9)", v})
+	v = base
+	v.Opt.LICM = true
+	variants = append(variants, variant{"with LICM (§10)", v})
+	return variants
+}

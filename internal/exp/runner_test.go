@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"branchreg/internal/driver"
+	"branchreg/internal/isa"
+	"branchreg/internal/workloads"
+)
+
+// renderAll fingerprints every table the suite result can produce, so the
+// equality test covers -table1 -cycles -ratios -fig9 byte for byte.
+func renderAll(r *SuiteResult) string {
+	return r.Table1() + r.CycleTable([]int{3, 4, 5}) + r.RatiosTable() + r.DistanceHistogram()
+}
+
+// TestParallelMatchesSerial asserts the tentpole guarantee: the worker
+// pool's SuiteResult — programs, totals, histograms, and every rendered
+// table — is byte-identical to the serial path at any parallelism.
+func TestParallelMatchesSerial(t *testing.T) {
+	o := driver.DefaultOptions()
+	serial, err := RunSuiteSubset(o, fastSubset) // deprecated wrapper = 1 worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 8} {
+		r := Runner{Parallelism: par}
+		got, err := r.Run(context.Background(), Spec{Workloads: fastSubset, Options: o})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("parallelism %d: SuiteResult differs from serial", par)
+		}
+		if a, b := renderAll(serial), renderAll(got); a != b {
+			t.Errorf("parallelism %d: rendered tables differ from serial:\n%s\n-- vs --\n%s", par, a, b)
+		}
+	}
+}
+
+func TestRunnerCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var r Runner
+	if _, err := r.Run(ctx, Spec{Workloads: fastSubset, Options: driver.DefaultOptions()}); err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+}
+
+// TestRunnerFirstErrorAbortsPool injects a workload that fails to compile
+// ahead of many good ones: the pool must return that workload's error and
+// cancel the remaining jobs instead of draining the queue.
+func TestRunnerFirstErrorAbortsPool(t *testing.T) {
+	suite := []workloads.Workload{{
+		Name:      "broken",
+		Source:    `int main(void) { return ; }`,
+		NoPrelude: true,
+	}}
+	suite = append(suite, workloads.All()...)
+
+	var done atomic.Int64
+	r := Runner{
+		Parallelism: 2,
+		Progress:    func(phase string, d, total int) { done.Store(int64(d)) },
+	}
+	_, err := r.Run(context.Background(), Spec{Suite: suite, Options: driver.DefaultOptions()})
+	if err == nil {
+		t.Fatal("suite with a broken workload succeeded")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error does not identify the failing workload: %v", err)
+	}
+	total := int64(len(suite) * 2)
+	if got := done.Load(); got >= total {
+		t.Errorf("pool drained all %d jobs despite the early failure", got)
+	}
+}
+
+func TestRunnerUnknownWorkload(t *testing.T) {
+	var r Runner
+	_, err := r.Run(context.Background(), Spec{Workloads: []string{"no-such"}, Options: driver.DefaultOptions()})
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("err = %v, want unknown workload", err)
+	}
+}
+
+func TestRunnerInvalidOptions(t *testing.T) {
+	o := driver.DefaultOptions()
+	o.AlignWords = -2
+	var r Runner
+	if _, err := r.Run(context.Background(), Spec{Workloads: fastSubset, Options: o}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+// TestRunnerSharedCache proves the dedup across experiments: a second run
+// through the same Runner recompiles nothing.
+func TestRunnerSharedCache(t *testing.T) {
+	r := Runner{Parallelism: 4}
+	spec := Spec{Workloads: []string{"wc", "sieve"}, Options: driver.DefaultOptions()}
+	if _, err := r.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	first := r.Cache.Stats()
+	if first.Misses != 4 { // 2 workloads x 2 machines
+		t.Errorf("first run compiled %d programs, want 4", first.Misses)
+	}
+	if _, err := r.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	second := r.Cache.Stats()
+	if second.Misses != first.Misses {
+		t.Errorf("second run recompiled: %d -> %d misses", first.Misses, second.Misses)
+	}
+	if second.Hits != first.Hits+4 {
+		t.Errorf("second run hits = %d, want %d", second.Hits, first.Hits+4)
+	}
+}
+
+func TestRunnerSingleMachine(t *testing.T) {
+	var r Runner
+	got, err := r.Run(context.Background(), Spec{
+		Workloads: []string{"wc"},
+		Machines:  []isa.Kind{isa.BranchReg},
+		Options:   driver.DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BRMTotal.Instructions == 0 {
+		t.Error("BRM total empty")
+	}
+	if got.BaselineTotal.Instructions != 0 {
+		t.Error("baseline measured despite not being requested")
+	}
+}
+
+func TestPctDegenerateCells(t *testing.T) {
+	if v := pct(0, 0); v != 0 {
+		t.Errorf("pct(0,0) = %v, want 0", v)
+	}
+	if v := pct(7, 0); !math.IsInf(v, 1) {
+		t.Errorf("pct(7,0) = %v, want +Inf", v)
+	}
+	if v := pct(-7, 0); !math.IsInf(v, -1) {
+		t.Errorf("pct(-7,0) = %v, want -Inf", v)
+	}
+	if v := pct(150, 100); v != 50 {
+		t.Errorf("pct(150,100) = %v, want 50", v)
+	}
+	if got := fmtPct(math.Inf(1)); got != "n/a" {
+		t.Errorf("fmtPct(+Inf) = %q, want n/a", got)
+	}
+	if got := fmtPct(-6.82); got != "-6.8%" {
+		t.Errorf("fmtPct(-6.82) = %q", got)
+	}
+	// A degenerate Table I cell renders n/a, not 0.0%.
+	r := &SuiteResult{Programs: []ProgramResult{{Name: "degenerate"}}}
+	r.Programs[0].BRM.Instructions = 10
+	r.BRMTotal.Instructions = 10
+	tbl := r.Table1()
+	if !strings.Contains(tbl, "n/a") {
+		t.Errorf("degenerate cell not marked n/a:\n%s", tbl)
+	}
+}

@@ -1,15 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchreg/internal/cache"
 	"branchreg/internal/driver"
-	"branchreg/internal/emu"
 	"branchreg/internal/isa"
-	"branchreg/internal/pipeline"
-	"branchreg/internal/workloads"
 )
 
 // SimRow compares the paper's aggregate cycle model against the dynamic
@@ -26,31 +24,12 @@ type SimRow struct {
 // side by side. The paper's model charges every executed transfer on the
 // baseline machine (taken or not); the simulation charges only taken ones,
 // quantifying the model's overstatement.
+//
+// Deprecated: use Runner.ModelValidation, which parallelizes and caches
+// compilations. RunModelValidation is the serial reference path.
 func RunModelValidation(o driver.Options, stages int, names []string) ([]SimRow, error) {
-	if names == nil {
-		names = []string{"wc", "grep", "matmult", "dhrystone", "sieve"}
-	}
-	var out []SimRow
-	for _, name := range names {
-		w, ok := workloads.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("exp: unknown workload %s", name)
-		}
-		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-			p, err := driver.Compile(w.FullSource(), kind, o)
-			if err != nil {
-				return nil, err
-			}
-			cmp, err := pipeline.CompareModel(p, w.Input, stages)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SimRow{Name: name, Kind: kind,
-				ModelCycles: cmp.ModelCycles, SimCycles: cmp.SimCycles,
-				OverchargePct: cmp.OverchargePct})
-		}
-	}
-	return out, nil
+	r := Runner{Parallelism: 1}
+	return r.ModelValidation(context.Background(), o, stages, names)
 }
 
 // SimTable renders the model-vs-simulation comparison.
@@ -76,42 +55,12 @@ type AlignRow struct {
 // RunAlignmentStudy measures instruction-fetch delays on a small cache
 // with function entries unaligned versus aligned to cache lines (§9: "the
 // beginning of the function could be aligned on a cache line boundary").
+//
+// Deprecated: use Runner.AlignmentStudy, which parallelizes and caches
+// compilations. RunAlignmentStudy is the serial reference path.
 func RunAlignmentStudy(cfg cache.Config, names []string) ([]AlignRow, error) {
-	if names == nil {
-		names = []string{"dhrystone", "grep", "tinycc"}
-	}
-	var out []AlignRow
-	for _, align := range []int{0, cfg.LineWords} {
-		o := driver.DefaultOptions()
-		o.AlignWords = align
-		var total cache.Stats
-		for _, name := range names {
-			w, ok := workloads.ByName(name)
-			if !ok {
-				return nil, fmt.Errorf("exp: unknown workload %s", name)
-			}
-			p, err := driver.Compile(w.FullSource(), isa.BranchReg, o)
-			if err != nil {
-				return nil, err
-			}
-			m, err := emu.New(p, w.Input)
-			if err != nil {
-				return nil, err
-			}
-			ic := cache.New(cfg)
-			m.Hooks.Fetch = func(addr int32) { ic.Fetch(addr) }
-			m.Hooks.Prefetch = func(addr int32) { ic.Prefetch(addr) }
-			if _, err := m.Run(); err != nil {
-				return nil, err
-			}
-			ic.Flush()
-			addCache(&total, &ic.Stats)
-		}
-		out = append(out, AlignRow{AlignWords: align,
-			DelayCycles: total.DelayCycles,
-			Misses:      total.Misses + total.PartialWaits})
-	}
-	return out, nil
+	r := Runner{Parallelism: 1}
+	return r.AlignmentStudy(context.Background(), cfg, names)
 }
 
 // AlignTable renders the alignment study.

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"branchreg/internal/emu"
@@ -89,7 +90,12 @@ type ModelVsSim struct {
 }
 
 // CompareModel runs both the analytic model and the dynamic simulation.
-func CompareModel(p *isa.Program, input string, stages int) (*ModelVsSim, error) {
+// The context is checked before the simulation starts, so the experiment
+// pool can abandon queued comparisons on cancellation.
+func CompareModel(ctx context.Context, p *isa.Program, input string, stages int) (*ModelVsSim, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sim, err := Simulate(p, input, stages)
 	if err != nil {
 		return nil, err

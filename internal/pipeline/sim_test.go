@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"branchreg/internal/driver"
@@ -20,7 +21,7 @@ int main(void) {
 
 func compileFor(t *testing.T, kind isa.Kind) *isa.Program {
 	t.Helper()
-	p, err := driver.Compile(simProgram, kind, driver.DefaultOptions())
+	p, err := driver.Compile(context.Background(), simProgram, kind, driver.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestSimulateBaseline(t *testing.T) {
 	}
 	// The aggregate model charges untaken conditionals too, so it must be
 	// at least the simulated count.
-	cmp, err := CompareModel(p, "", 3)
+	cmp, err := CompareModel(context.Background(), p, "", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestSimulateBRM(t *testing.T) {
 	}
 	// The BRM model matches the simulation exactly: both charge N-3 per
 	// conditional and the Figure 9 penalty per late calc.
-	cmp, err := CompareModel(p, "", 4)
+	cmp, err := CompareModel(context.Background(), p, "", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestSimulatedSpeedupHolds(t *testing.T) {
 func TestSimulateFastCompare(t *testing.T) {
 	o := driver.DefaultOptions()
 	o.BRM.FastCompare = true
-	p, err := driver.Compile(simProgram, isa.BranchReg, o)
+	p, err := driver.Compile(context.Background(), simProgram, isa.BranchReg, o)
 	if err != nil {
 		t.Fatal(err)
 	}

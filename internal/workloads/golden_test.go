@@ -7,6 +7,7 @@ package workloads
 // if a workload's source or input intentionally changes.
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"testing"
@@ -53,7 +54,7 @@ func TestGoldenOutputsPinned(t *testing.T) {
 			if !ok {
 				t.Fatalf("no golden entry for %s", w.Name)
 			}
-			res, err := driver.Run(w.FullSource(), isa.BranchReg, w.Input, o)
+			res, err := driver.Run(context.Background(), w.FullSource(), isa.BranchReg, w.Input, o)
 			if err != nil {
 				t.Fatal(err)
 			}

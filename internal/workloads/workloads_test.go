@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestWorkloadsDifferential(t *testing.T) {
 				t.Errorf("%s produces no output", w.Name)
 			}
 			for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-				res, err := driver.Run(src, kind, w.Input, o)
+				res, err := driver.Run(context.Background(), src, kind, w.Input, o)
 				if err != nil {
 					t.Fatalf("%v: %v", kind, err)
 				}
@@ -92,7 +93,7 @@ func TestGoldenOutputs(t *testing.T) {
 		if !ok {
 			t.Fatalf("no workload %s", name)
 		}
-		res, err := driver.Run(w.FullSource(), isa.BranchReg, w.Input, o)
+		res, err := driver.Run(context.Background(), w.FullSource(), isa.BranchReg, w.Input, o)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -4,7 +4,10 @@ package branchreg
 // user would (via `go run`).
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -82,6 +85,50 @@ func TestBrbenchFigures(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("brbench output missing %q:\n%.600s", want, out)
 		}
+	}
+}
+
+func TestBrbenchJSONAndFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool test")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out := runTool(t, "./cmd/brbench",
+		"-table1", "-ratios", "-fig9", "-workloads", "wc,sieve", "-json", path)
+	if !strings.Contains(out, "Table I") {
+		t.Errorf("brbench output missing Table I:\n%.400s", out)
+	}
+	// The filter must hold: no unrequested workload in the table.
+	if strings.Contains(out, "dhrystone") {
+		t.Errorf("-workloads filter leaked other programs:\n%.600s", out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema int `json:"schema"`
+		Suite  struct {
+			Programs []struct {
+				Name string `json:"name"`
+			} `json:"programs"`
+		} `json:"suite"`
+		CompileCache struct {
+			Misses  int64 `json:"misses"`
+			Entries int64 `json:"entries"`
+		} `json:"compile_cache"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("brbench -json wrote invalid JSON: %v\n%.400s", err, raw)
+	}
+	if rep.Schema != 1 {
+		t.Errorf("schema = %d", rep.Schema)
+	}
+	if len(rep.Suite.Programs) != 2 {
+		t.Errorf("programs in JSON = %d, want the 2 filtered workloads", len(rep.Suite.Programs))
+	}
+	if rep.CompileCache.Misses != rep.CompileCache.Entries {
+		t.Errorf("compile cache reports recompilation: %+v", rep.CompileCache)
 	}
 }
 
