@@ -1,11 +1,14 @@
 # Build and verification entry points. `make check` is the PR gate:
 # vet plus the full test suite under the race detector, which drives the
 # experiment engine's worker pool (suite equality, cancellation, compile
-# cache singleflight) with race checking enabled.
+# cache singleflight) with race checking enabled, plus a short
+# coverage-guided fuzz smoke over the differential fuzzer and the fault
+# injector (trap or clean exit, never a panic).
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet race fuzz-smoke check bench
 
 all: build
 
@@ -21,7 +24,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+# go test accepts one -fuzz pattern per invocation, so each target gets
+# its own short run.
+fuzz-smoke:
+	$(GO) test ./internal/driver -run='^$$' -fuzz=FuzzDifferentialPrograms -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/driver -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=$(FUZZTIME)
+
+check: vet race fuzz-smoke
 
 # Regenerate the paper's evaluation as benchmarks with custom metrics.
 bench:

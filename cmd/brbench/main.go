@@ -16,6 +16,14 @@
 //	brbench -table1 -cycles -ratios -workloads wc,grep,sieve
 //	brbench -fig5 -fig6 -fig7 -fig8 -fig9
 //	brbench -cache -ablate -par 4
+//
+// With -keep-going, failed (workload, machine) cells degrade to typed
+// FAIL(<kind>) entries — in the tables and as error objects in the JSON
+// report (schema v2) — while the rest of the suite completes; brbench
+// then exits non-zero. -inject arms a deterministic fault on one cell
+// (see parseInject) to exercise exactly that path:
+//
+//	brbench -all -keep-going -inject wc/brm/budget@1000 -json out.json
 package main
 
 import (
@@ -23,11 +31,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"branchreg/internal/emu"
 	"branchreg/internal/exp"
+	"branchreg/internal/isa"
 	"branchreg/internal/pipeline"
 )
 
@@ -48,6 +59,11 @@ func main() {
 	jsonPath := flag.String("json", "", "write results as versioned JSON to this path")
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload filter (default: all)")
 	par := flag.Int("par", 0, "worker pool size (default: GOMAXPROCS)")
+	keepGoing := flag.Bool("keep-going", false,
+		"record failed cells as typed errors and finish the suite (exit non-zero)")
+	inject := flag.String("inject", "",
+		"comma-separated fault injections, each workload/machine/fault[@n]\n"+
+			"(machine: baseline|brm; fault: flip|breg|uninit|budget|trap|panic)")
 	flag.Parse()
 
 	if *all {
@@ -70,6 +86,11 @@ func main() {
 		}
 	}
 
+	faults, err := parseInjects(*inject)
+	if err != nil {
+		fatal(err)
+	}
+
 	spec := exp.AllSpec{
 		Suite:      *table1 || *cycles || *ratios || *fig9,
 		CacheStudy: *cacheStudy,
@@ -77,6 +98,8 @@ func main() {
 		Validate:   *validate,
 		Align:      *align,
 		Workloads:  names,
+		KeepGoing:  *keepGoing,
+		Faults:     faults,
 	}
 
 	var mu sync.Mutex
@@ -111,13 +134,15 @@ func main() {
 		time.Since(start).Milliseconds(), res.Parallelism,
 		res.CompileCache.Misses, res.CompileCache.Hits)
 
-	if *table1 {
+	// With -keep-going a whole phase may have failed; its section is
+	// simply absent rather than a crash.
+	if *table1 && res.Suite != nil {
 		fmt.Println(res.Suite.Table1())
 	}
-	if *cycles {
+	if *cycles && res.Suite != nil {
 		fmt.Println(res.Suite.CycleTable([]int{3, 4, 5}))
 	}
-	if *ratios {
+	if *ratios && res.Suite != nil {
 		fmt.Println(res.Suite.RatiosTable())
 	}
 	if *fig5 {
@@ -142,7 +167,7 @@ func main() {
 		fmt.Println(pipeline.FormatTrace(
 			"Figure 8: pipeline actions, BRM conditional transfer", pipeline.Figure8()))
 	}
-	if *fig9 {
+	if *fig9 && res.Suite != nil {
 		fmt.Printf("Figure 9: the target address must be calculated at least %d instructions\n"+
 			"before the transfer to avoid a pipeline delay (3 stages, 1-cycle cache).\n\n",
 			pipeline.MinCalcDistance(3, 1))
@@ -173,6 +198,83 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "brbench: wrote %s (%d bytes)\n", *jsonPath, len(b))
 	}
+
+	// Keep-going mode completed the suite around the failures; report
+	// them and exit non-zero so CI still notices.
+	if len(res.Errors) > 0 {
+		for _, e := range res.Errors {
+			fmt.Fprintln(os.Stderr, "brbench:", e)
+		}
+		fmt.Fprintf(os.Stderr, "brbench: %d cell(s) failed\n", len(res.Errors))
+		os.Exit(1)
+	}
+}
+
+// parseInjects parses the -inject flag: a comma-separated list of
+// workload/machine/fault[@n] triples, each arming one deterministic
+// fault on one suite cell. n is the instruction rank the fault fires at
+// (default 1000). Faults: flip (corrupt a data word), breg (scramble a
+// branch register's target), uninit (invalidate a branch register),
+// budget (truncate the step budget to n), trap (force an injected trap),
+// panic (panic the emulator — exercises the runner's recover path).
+func parseInjects(s string) (map[string]*emu.FaultPlan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]*emu.FaultPlan{}
+	for _, one := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(one), "/")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -inject %q: want workload/machine/fault[@n]", one)
+		}
+		workload := parts[0]
+		var kind isa.Kind
+		switch strings.ToLower(parts[1]) {
+		case "baseline":
+			kind = isa.Baseline
+		case "brm":
+			kind = isa.BranchReg
+		default:
+			return nil, fmt.Errorf("bad -inject machine %q: want baseline or brm", parts[1])
+		}
+		n := int64(1000)
+		fault := parts[2]
+		if at := strings.IndexByte(fault, '@'); at >= 0 {
+			v, err := strconv.ParseInt(fault[at+1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -inject rank %q: %v", fault[at+1:], err)
+			}
+			n, fault = v, fault[:at]
+		}
+		op := emu.FaultOp{N: n}
+		switch fault {
+		case "flip":
+			op.Kind = emu.FaultFlipWord
+			op.Addr = isa.DataBase
+		case "breg":
+			op.Kind = emu.FaultCorruptBReg
+			op.BReg = 1
+		case "uninit":
+			op.Kind = emu.FaultCorruptBReg
+			op.BReg = 1
+			op.Invalidate = true
+		case "budget":
+			op.Kind = emu.FaultTruncateBudget
+			op.Budget = n
+		case "trap":
+			op.Kind = emu.FaultForceTrap
+		case "panic":
+			op.Kind = emu.FaultPanic
+		default:
+			return nil, fmt.Errorf("bad -inject fault %q: want flip|breg|uninit|budget|trap|panic", fault)
+		}
+		key := exp.FaultKey(workload, kind)
+		if out[key] == nil {
+			out[key] = &emu.FaultPlan{Seed: 1}
+		}
+		out[key].Ops = append(out[key].Ops, op)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

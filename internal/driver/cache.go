@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"sync"
 
+	"branchreg/internal/emu"
 	"branchreg/internal/isa"
 )
 
@@ -96,6 +97,12 @@ func (c *Cache) Compile(ctx context.Context, src string, kind isa.Kind, o Option
 
 // Run compiles src through the cache and executes it with the given stdin.
 func (c *Cache) Run(ctx context.Context, src string, kind isa.Kind, input string, o Options) (*Result, error) {
+	return c.RunFaults(ctx, src, kind, input, o, nil)
+}
+
+// RunFaults is Run with a deterministic fault plan armed on the emulator.
+// The plan affects only this execution; the cached program is untouched.
+func (c *Cache) RunFaults(ctx context.Context, src string, kind isa.Kind, input string, o Options, plan *emu.FaultPlan) (*Result, error) {
 	p, err := c.Compile(ctx, src, kind, o)
 	if err != nil {
 		return nil, err
@@ -103,7 +110,7 @@ func (c *Cache) Run(ctx context.Context, src string, kind isa.Kind, input string
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return RunProgram(p, input)
+	return RunProgramContext(ctx, p, input, plan)
 }
 
 // Stats returns a snapshot of the cache counters.

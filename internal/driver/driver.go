@@ -123,6 +123,7 @@ type Result struct {
 }
 
 // Run compiles and executes src on the given machine with the given stdin.
+// Emulator faults surface as *emu.Trap values reachable with errors.As.
 func Run(ctx context.Context, src string, kind isa.Kind, input string, o Options) (*Result, error) {
 	p, err := Compile(ctx, src, kind, o)
 	if err != nil {
@@ -131,7 +132,7 @@ func Run(ctx context.Context, src string, kind isa.Kind, input string, o Options
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return RunProgram(p, input)
+	return RunProgramContext(ctx, p, input, nil)
 }
 
 // RunProgram executes a linked program with the given stdin. Linked
@@ -139,11 +140,20 @@ func Run(ctx context.Context, src string, kind isa.Kind, input string, o Options
 // its own memory), so one program may be run concurrently from many
 // goroutines.
 func RunProgram(p *isa.Program, input string) (*Result, error) {
+	return RunProgramContext(context.Background(), p, input, nil)
+}
+
+// RunProgramContext executes a linked program with the given stdin,
+// honoring the context (polled between instruction batches, so per-job
+// timeouts interrupt diverging programs) and an optional deterministic
+// fault plan. Emulator faults come back as *emu.Trap.
+func RunProgramContext(ctx context.Context, p *isa.Program, input string, plan *emu.FaultPlan) (*Result, error) {
 	m, err := emu.New(p, input)
 	if err != nil {
 		return nil, err
 	}
-	status, err := m.Run()
+	m.SetFaultPlan(plan)
+	status, err := m.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

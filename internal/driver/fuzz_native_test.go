@@ -1,0 +1,131 @@
+package driver
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"branchreg/internal/emu"
+	"branchreg/internal/irexec"
+	"branchreg/internal/isa"
+)
+
+// Native fuzz targets for `make fuzz-smoke`: short, coverage-guided runs
+// of the differential program fuzzer and the fault injector. Both assert
+// the robustness contract — a bad program or a hostile fault plan ends in
+// a typed trap or a clean exit, never a panic or a divergence.
+
+// FuzzDifferentialPrograms is the coverage-guided form of
+// TestFuzzDifferential: one generated program per input, compared across
+// the IR interpreter and both machines.
+func FuzzDifferentialPrograms(f *testing.F) {
+	for _, seed := range []int64{1, 20260706, 424242} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		gen := &progGen{r: rand.New(rand.NewSource(seed))}
+		src := gen.generate()
+		o := DefaultOptions()
+		iu, err := Lower(src, o)
+		if err != nil {
+			t.Fatalf("lower: %v\nprogram:\n%s", err, src)
+		}
+		refOut, refStatus, err := irexec.RunSource(iu, "")
+		if err != nil {
+			t.Fatalf("irexec: %v\nprogram:\n%s", err, src)
+		}
+		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+			res, err := Run(context.Background(), src, kind, "", o)
+			if err != nil {
+				t.Fatalf("%v: %v\nprogram:\n%s", kind, err, src)
+			}
+			if res.Status != refStatus || res.Output != refOut {
+				t.Fatalf("%v diverges: status %d vs reference %d\nprogram:\n%s",
+					kind, res.Status, refStatus, src)
+			}
+		}
+	})
+}
+
+// faultTestPrograms compiles one small branchy program per machine, once,
+// for FuzzFaultPlan to perturb.
+var faultTestPrograms = sync.OnceValues(func() ([]*isa.Program, error) {
+	const src = `
+int leaf(int x) { return x * 3 + 1; }
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 200; i++) {
+        if (i % 3 == 0) s += leaf(i); else s -= i;
+    }
+    return s & 255;
+}`
+	var out []*isa.Program
+	for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+		p, err := Compile(context.Background(), src, kind, DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+})
+
+// planFromBytes decodes fuzz input into a FaultPlan: up to 8 ops, every
+// field derived from the bytes. FaultPanic is excluded — it exists solely
+// to exercise the experiment runner's recover path and panics by design.
+func planFromBytes(data []byte) *emu.FaultPlan {
+	plan := &emu.FaultPlan{}
+	for len(data) >= 8 && len(plan.Ops) < 8 {
+		chunk := data[:8]
+		data = data[8:]
+		op := emu.FaultOp{
+			Kind:       emu.FaultKind(chunk[0] % 4), // flip, breg, budget, force-trap
+			N:          int64(binary.LittleEndian.Uint16(chunk[2:4])),
+			Addr:       int32(binary.LittleEndian.Uint16(chunk[4:6])) * 17,
+			Mask:       uint32(chunk[6]),
+			BReg:       int(chunk[7]),
+			Invalidate: chunk[1]&1 != 0,
+			Budget:     int64(binary.LittleEndian.Uint16(chunk[4:6])),
+		}
+		if chunk[1]&2 != 0 {
+			op.Fn = "leaf"
+		}
+		plan.Seed = int64(chunk[7])<<8 | int64(chunk[0])
+		plan.Ops = append(plan.Ops, op)
+	}
+	if len(plan.Ops) == 0 {
+		return nil
+	}
+	return plan
+}
+
+// FuzzFaultPlan feeds arbitrary fault plans to the emulator on both
+// machines and asserts the robustness contract: a typed trap or a clean
+// exit, never a panic (the fuzzer itself catches panics as crashes).
+func FuzzFaultPlan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 10, 0, 0, 1, 0xff, 1})           // flip a data word
+	f.Add([]byte{1, 1, 50, 0, 0, 0, 0, 3})              // invalidate b[3]
+	f.Add([]byte{2, 0, 1, 0, 5, 0, 0, 0})               // truncate budget to 5
+	f.Add([]byte{3, 2, 2, 0, 0, 0, 0, 0, 1, 0, 9, 0, 0, 0, 0, 5}) // trap in leaf + corrupt breg
+	f.Fuzz(func(t *testing.T, data []byte) {
+		progs, err := faultTestPrograms()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := planFromBytes(data)
+		for _, p := range progs {
+			_, err := RunProgramContext(context.Background(), p, "", plan)
+			if err == nil {
+				continue
+			}
+			var trap *emu.Trap
+			if !errors.As(err, &trap) {
+				t.Fatalf("%v: non-trap error from a fault plan: %v (plan %+v)", p.Kind, err, plan)
+			}
+		}
+	})
+}

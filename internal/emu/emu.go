@@ -6,6 +6,7 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -106,6 +107,7 @@ type breg struct {
 	calcTime int64 // Stats.Instructions value when the prefetch was issued
 	viaCmp   bool  // written by a compare (the referencing transfer is conditional)
 	isRA     bool  // holds a return address (the b[7] side effect or a restore)
+	valid    bool  // some instruction assigned this register
 }
 
 // Machine is an emulator instance.
@@ -132,6 +134,8 @@ type Machine struct {
 	pending int // delayed-branch target index, -2 when none (baseline)
 
 	funcEntry map[int]bool // Text indices that begin functions
+
+	faults *faultState // deterministic fault-injection state (nil = none)
 
 	MaxInstructions int64
 }
@@ -165,7 +169,7 @@ func New(p *isa.Program, input string) (*Machine, error) {
 	if p.Kind == isa.Baseline {
 		m.R[isa.RABase] = haltAddr
 	} else {
-		m.B[isa.RABr] = breg{addr: haltAddr, calcTime: 0}
+		m.B[isa.RABr] = breg{addr: haltAddr, calcTime: 0, valid: true}
 	}
 	m.pc = p.EntryPC
 	return m, nil
@@ -179,12 +183,34 @@ func (m *Machine) Status() int32 { return m.status }
 
 // Run executes until halt, returning the exit status.
 func (m *Machine) Run() (int32, error) {
+	return m.RunContext(context.Background())
+}
+
+// ctxCheckStride is how many instructions run between context checks in
+// RunContext: rare enough to stay off the profile, frequent enough that
+// a cancelled or timed-out job stops within a few milliseconds.
+const ctxCheckStride = 1 << 16
+
+// RunContext executes until halt, returning the exit status. The context
+// is polled every ctxCheckStride instructions, so a per-job timeout
+// interrupts even a diverging program.
+func (m *Machine) RunContext(ctx context.Context) (int32, error) {
+	next := m.Stats.Instructions + ctxCheckStride
 	for !m.halted {
 		if err := m.Step(); err != nil {
 			return 0, err
 		}
 		if m.Stats.Instructions > m.MaxInstructions {
-			return 0, fmt.Errorf("emu: instruction limit exceeded in %s", m.where())
+			t := m.trapHere(TrapStepBudget, "instruction limit exceeded")
+			t.Limit = m.MaxInstructions
+			t.Executed = m.Stats.Instructions
+			return 0, t
+		}
+		if m.Stats.Instructions >= next {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			next = m.Stats.Instructions + ctxCheckStride
 		}
 	}
 	return m.status, nil
@@ -197,15 +223,16 @@ func (m *Machine) where() string {
 	return "?"
 }
 
-func (m *Machine) errHere(format string, args ...interface{}) error {
-	return fmt.Errorf("emu: %s@%#x: %s", m.where(), uint32(isa.IndexToAddr(m.pc)),
-		fmt.Sprintf(format, args...))
-}
-
 // Step executes one instruction.
 func (m *Machine) Step() error {
 	if m.pc < 0 || m.pc >= len(m.P.Text) {
-		return fmt.Errorf("emu: pc out of range: %d", m.pc)
+		return &Trap{Kind: TrapPCOutOfRange, PC: isa.IndexToAddr(m.pc), Fn: m.where(),
+			Detail: fmt.Sprintf("pc index %d outside text [0,%d)", m.pc, len(m.P.Text))}
+	}
+	if m.faults != nil {
+		if err := m.applyFaults(); err != nil {
+			return err
+		}
 	}
 	in := &m.P.Text[m.pc]
 	addr := isa.IndexToAddr(m.pc)
@@ -243,7 +270,10 @@ func (m *Machine) setR(r int, v int32) {
 
 func (m *Machine) loadWord(addr int32) (int32, error) {
 	if addr < 0 || int(addr)+4 > len(m.Mem) {
-		return 0, m.errHere("load out of range: %#x", uint32(addr))
+		return 0, m.trapHere(TrapOOBLoad, "load out of range: %#x", uint32(addr))
+	}
+	if addr%isa.WordSize != 0 {
+		return 0, m.trapHere(TrapMisaligned, "misaligned word load: %#x", uint32(addr))
 	}
 	return int32(m.Mem[addr]) | int32(m.Mem[addr+1])<<8 |
 		int32(m.Mem[addr+2])<<16 | int32(m.Mem[addr+3])<<24, nil
@@ -251,7 +281,10 @@ func (m *Machine) loadWord(addr int32) (int32, error) {
 
 func (m *Machine) storeWord(addr, v int32) error {
 	if addr < 0 || int(addr)+4 > len(m.Mem) {
-		return m.errHere("store out of range: %#x", uint32(addr))
+		return m.trapHere(TrapOOBStore, "store out of range: %#x", uint32(addr))
+	}
+	if addr%isa.WordSize != 0 {
+		return m.trapHere(TrapMisaligned, "misaligned word store: %#x", uint32(addr))
 	}
 	m.Mem[addr] = byte(v)
 	m.Mem[addr+1] = byte(v >> 8)
@@ -275,13 +308,13 @@ func (m *Machine) exec(in *isa.Instr) (bool, error) {
 	case isa.OpDiv:
 		d := m.rhs(in)
 		if d == 0 {
-			return true, m.errHere("division by zero")
+			return true, m.trapHere(TrapArithmetic, "division by zero")
 		}
 		m.setR(in.Rd, m.R[in.Rs1]/d)
 	case isa.OpRem:
 		d := m.rhs(in)
 		if d == 0 {
-			return true, m.errHere("modulo by zero")
+			return true, m.trapHere(TrapArithmetic, "modulo by zero")
 		}
 		m.setR(in.Rd, m.R[in.Rs1]%d)
 	case isa.OpAnd:
@@ -322,7 +355,7 @@ func (m *Machine) exec(in *isa.Instr) (bool, error) {
 		m.Stats.Loads++
 		a := m.R[in.Rs1] + m.rhs(in)
 		if a < 0 || int(a) >= len(m.Mem) {
-			return true, m.errHere("byte load out of range: %#x", uint32(a))
+			return true, m.trapHere(TrapOOBLoad, "byte load out of range: %#x", uint32(a))
 		}
 		m.setR(in.Rd, int32(int8(m.Mem[a])))
 	case isa.OpSw:
@@ -335,14 +368,14 @@ func (m *Machine) exec(in *isa.Instr) (bool, error) {
 		m.Stats.Stores++
 		a := m.R[in.Rs1] + m.rhs(in)
 		if a < 0 || int(a) >= len(m.Mem) {
-			return true, m.errHere("byte store out of range: %#x", uint32(a))
+			return true, m.trapHere(TrapOOBStore, "byte store out of range: %#x", uint32(a))
 		}
 		m.Mem[a] = byte(m.R[in.Rd])
 	case isa.OpLf:
 		m.Stats.Loads++
 		a := m.R[in.Rs1] + m.rhs(in)
 		if a < 0 || int(a)+8 > len(m.Mem) {
-			return true, m.errHere("float load out of range: %#x", uint32(a))
+			return true, m.trapHere(TrapOOBLoad, "float load out of range: %#x", uint32(a))
 		}
 		var bits uint64
 		for i := 0; i < 8; i++ {
@@ -353,7 +386,7 @@ func (m *Machine) exec(in *isa.Instr) (bool, error) {
 		m.Stats.Stores++
 		a := m.R[in.Rs1] + m.rhs(in)
 		if a < 0 || int(a)+8 > len(m.Mem) {
-			return true, m.errHere("float store out of range: %#x", uint32(a))
+			return true, m.trapHere(TrapOOBStore, "float store out of range: %#x", uint32(a))
 		}
 		bits := floatBits(m.F[in.Rd])
 		for i := 0; i < 8; i++ {
@@ -400,7 +433,7 @@ func (m *Machine) trap(in *isa.Instr) error {
 	case isa.TrapPutf:
 		fmt.Fprintf(&m.out, "%.4f", m.F[1])
 	default:
-		return m.errHere("unknown trap %d", in.Imm)
+		return m.trapHere(TrapIllegalInstr, "unknown trap %d", in.Imm)
 	}
 	return nil
 }

@@ -1,0 +1,191 @@
+package emu
+
+import "fmt"
+
+// This file is the deterministic fault-injection harness. A FaultPlan
+// perturbs a run at precise, replayable points — the Nth executed
+// instruction of a named function — so tests can prove that every
+// failure mode surfaces as a typed Trap with accurate context instead
+// of a panic or silently corrupted statistics. Everything the injector
+// does is derived from the plan and its seed: the same plan on the same
+// program and input always produces the same outcome.
+
+// FaultKind selects what a FaultOp does when it fires.
+type FaultKind int
+
+const (
+	// FaultFlipWord XORs a data-memory word with a mask, modeling a
+	// corrupted load value or bit-flipped data segment.
+	FaultFlipWord FaultKind = iota
+	// FaultCorruptBReg scrambles a branch register's target address, or
+	// marks it uninitialized when Invalidate is set.
+	FaultCorruptBReg
+	// FaultTruncateBudget shrinks the instruction budget so the run hits
+	// a step-budget trap.
+	FaultTruncateBudget
+	// FaultForceTrap makes the machine raise a TrapInjected trap.
+	FaultForceTrap
+	// FaultPanic panics the emulator goroutine. No real failure mode
+	// needs it; it exists so tests can prove the experiment runner's
+	// recover path converts panics into structured job failures.
+	FaultPanic
+)
+
+var faultKindNames = [...]string{
+	FaultFlipWord:       "flip-word",
+	FaultCorruptBReg:    "corrupt-breg",
+	FaultTruncateBudget: "truncate-budget",
+	FaultForceTrap:      "force-trap",
+	FaultPanic:          "panic",
+}
+
+// String returns the kind's stable name.
+func (k FaultKind) String() string {
+	if k >= 0 && int(k) < len(faultKindNames) {
+		return faultKindNames[k]
+	}
+	return fmt.Sprintf("fault-kind-%d", int(k))
+}
+
+// FaultOp fires once, just before the Nth executed instruction that
+// matches its function filter.
+type FaultOp struct {
+	Kind FaultKind
+	// Fn restricts counting to instructions of the named function
+	// ("" counts every instruction).
+	Fn string
+	// N is the 1-based rank of the matching instruction the op fires at
+	// (values < 1 mean the first match).
+	N int64
+	// Addr is FaultFlipWord's data address. It is word-aligned and
+	// wrapped into memory bounds, so no plan can crash the injector.
+	Addr int32
+	// Mask is FaultFlipWord's XOR mask (0 = derive a nonzero mask from
+	// the plan seed).
+	Mask uint32
+	// BReg is FaultCorruptBReg's target register (wrapped into [0,8)).
+	BReg int
+	// Invalidate makes FaultCorruptBReg mark the register uninitialized
+	// (an uninit-branch-reg trap on next transfer) instead of scrambling
+	// its address (a pc-out-of-range trap).
+	Invalidate bool
+	// Budget is FaultTruncateBudget's new instruction limit.
+	Budget int64
+}
+
+// FaultPlan is a deterministic, replayable fault-injection schedule.
+type FaultPlan struct {
+	// Seed drives every value the plan leaves unspecified.
+	Seed int64
+	Ops  []FaultOp
+}
+
+type faultOpState struct {
+	op    FaultOp
+	count int64
+	fired bool
+}
+
+type faultState struct {
+	rng  uint64
+	ops  []faultOpState
+	live int // un-fired ops remaining
+}
+
+// next is a xorshift64 step: fast, seed-deterministic, good enough to
+// scatter corruption.
+func (f *faultState) next() uint64 {
+	f.rng ^= f.rng << 13
+	f.rng ^= f.rng >> 7
+	f.rng ^= f.rng << 17
+	return f.rng
+}
+
+// SetFaultPlan arms the machine with plan (nil disarms). Call before Run.
+func (m *Machine) SetFaultPlan(plan *FaultPlan) {
+	if plan == nil || len(plan.Ops) == 0 {
+		m.faults = nil
+		return
+	}
+	seed := uint64(plan.Seed)
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15 // any nonzero constant; xorshift fixes on 0
+	}
+	st := &faultState{rng: seed, live: len(plan.Ops)}
+	for _, op := range plan.Ops {
+		st.ops = append(st.ops, faultOpState{op: op})
+	}
+	m.faults = st
+}
+
+// applyFaults fires every armed op whose trigger point is the current
+// instruction. Called from Step with a validated pc.
+func (m *Machine) applyFaults() error {
+	f := m.faults
+	fn := m.where()
+	for i := range f.ops {
+		s := &f.ops[i]
+		if s.fired || (s.op.Fn != "" && s.op.Fn != fn) {
+			continue
+		}
+		s.count++
+		n := s.op.N
+		if n < 1 {
+			n = 1
+		}
+		if s.count < n {
+			continue
+		}
+		s.fired = true
+		f.live--
+		if err := m.fire(s.op); err != nil {
+			return err
+		}
+	}
+	if f.live == 0 {
+		m.faults = nil
+	}
+	return nil
+}
+
+// fire applies one fault op to the machine.
+func (m *Machine) fire(op FaultOp) error {
+	switch op.Kind {
+	case FaultFlipWord:
+		addr := int(op.Addr)
+		if addr < 0 {
+			addr = -addr
+		}
+		addr = (addr % (len(m.Mem) - 4)) &^ 3
+		mask := op.Mask
+		for mask == 0 {
+			mask = uint32(m.faults.next())
+		}
+		for i := 0; i < 4; i++ {
+			m.Mem[addr+i] ^= byte(mask >> (8 * i))
+		}
+	case FaultCorruptBReg:
+		r := op.BReg & (len(m.B) - 1)
+		if op.Invalidate {
+			m.B[r] = breg{}
+		} else {
+			// A garbage byte address far outside the text segment: the
+			// next transfer through b[r] raises pc-out-of-range.
+			bad := int64(int32(m.faults.next() | 0x4000_0000))
+			m.B[r] = breg{addr: bad, calcTime: m.Stats.Instructions, valid: true}
+		}
+	case FaultTruncateBudget:
+		b := op.Budget
+		if b < 0 {
+			b = 0
+		}
+		if b < m.MaxInstructions {
+			m.MaxInstructions = b
+		}
+	case FaultForceTrap:
+		return m.trapHere(TrapInjected, "fault plan forced a trap at %s#%d", op.Fn, op.N)
+	case FaultPanic:
+		panic(fmt.Sprintf("emu: fault plan forced a panic at %s#%d", op.Fn, op.N))
+	}
+	return nil
+}

@@ -89,7 +89,7 @@ func (m *Machine) stepBaseline(in *isa.Instr, addr int32) error {
 		return err
 	}
 	if !handled {
-		return m.errHere("baseline cannot execute %v", in.Op)
+		return m.trapHere(TrapIllegalInstr, "baseline cannot execute %v", in.Op)
 	}
 	if m.halted {
 		return nil
@@ -132,7 +132,7 @@ func (m *Machine) jumpTo(idx int) error {
 		return nil
 	}
 	if idx < 0 || idx >= len(m.P.Text) {
-		return m.errHere("jump out of text: index %d", idx)
+		return m.trapHere(TrapPCOutOfRange, "jump out of text: index %d", idx)
 	}
 	m.pc = idx
 	return nil
@@ -154,7 +154,7 @@ func (m *Machine) stepBRM(in *isa.Instr, addr int32) error {
 		} else {
 			target = addr + in.Imm
 		}
-		m.B[in.Rd] = breg{addr: int64(target), calcTime: now}
+		m.B[in.Rd] = breg{addr: int64(target), calcTime: now, valid: true}
 		m.prefetch(target)
 	case isa.OpBrLd:
 		m.Stats.BrCalcs++
@@ -164,7 +164,7 @@ func (m *Machine) stepBRM(in *isa.Instr, addr int32) error {
 		if err != nil {
 			return err
 		}
-		m.B[in.Rd] = breg{addr: int64(v), calcTime: now}
+		m.B[in.Rd] = breg{addr: int64(v), calcTime: now, valid: true}
 		m.prefetch(v)
 	case isa.OpCmpBr:
 		taken := in.Cond.HoldsInt(m.R[in.Rs1], m.rhs(in))
@@ -181,7 +181,7 @@ func (m *Machine) stepBRM(in *isa.Instr, addr int32) error {
 	case isa.OpMovBR:
 		m.Stats.BrMoves++
 		// Restores of spilled return addresses come through here.
-		m.B[in.Rd] = breg{addr: int64(m.R[in.Rs1]), calcTime: now, isRA: true}
+		m.B[in.Rd] = breg{addr: int64(m.R[in.Rs1]), calcTime: now, isRA: true, valid: true}
 		m.prefetch(m.R[in.Rs1])
 	default:
 		handled, err := m.exec(in)
@@ -189,7 +189,7 @@ func (m *Machine) stepBRM(in *isa.Instr, addr int32) error {
 			return err
 		}
 		if !handled {
-			return m.errHere("BRM cannot execute %v", in.Op)
+			return m.trapHere(TrapIllegalInstr, "BRM cannot execute %v", in.Op)
 		}
 		if m.halted {
 			return nil
@@ -201,9 +201,9 @@ func (m *Machine) stepBRM(in *isa.Instr, addr int32) error {
 func (m *Machine) setCmpResult(taken bool, bsrc int, now int64) {
 	if taken {
 		src := m.B[bsrc]
-		m.B[isa.RABr] = breg{addr: src.addr, calcTime: src.calcTime, viaCmp: true}
+		m.B[isa.RABr] = breg{addr: src.addr, calcTime: src.calcTime, viaCmp: true, valid: true}
 	} else {
-		m.B[isa.RABr] = breg{addr: seq, calcTime: now, viaCmp: true}
+		m.B[isa.RABr] = breg{addr: seq, calcTime: now, viaCmp: true, valid: true}
 	}
 }
 
@@ -214,6 +214,9 @@ func (m *Machine) brmAdvance(in *isa.Instr, addr int32, now int64) error {
 		return nil
 	}
 	b := m.B[in.BR]
+	if !b.valid {
+		return m.trapHere(TrapUninitBranchReg, "transfer through uninitialized b[%d]", in.BR)
+	}
 	switch {
 	case b.viaCmp:
 		m.Stats.CondBranches++
@@ -236,7 +239,7 @@ func (m *Machine) brmAdvance(in *isa.Instr, addr int32, now int64) error {
 	// The return-address side effect: every instruction referencing a
 	// branch register other than the PC stores the next sequential address
 	// into b[7].
-	ret := breg{addr: int64(addr + isa.WordSize), calcTime: now, isRA: true}
+	ret := breg{addr: int64(addr + isa.WordSize), calcTime: now, isRA: true, valid: true}
 
 	if b.addr == seq {
 		// Untaken conditional: fall through.

@@ -16,22 +16,46 @@ import (
 	"branchreg/internal/cache"
 	"branchreg/internal/driver"
 	"branchreg/internal/emu"
+	"branchreg/internal/isa"
 	"branchreg/internal/pipeline"
 	"branchreg/internal/workloads"
 )
 
-// ProgramResult holds one workload's dynamic measurements on both machines.
+// ProgramResult holds one workload's dynamic measurements on both
+// machines. In keep-going mode a failed cell leaves its stats zero and
+// carries a typed JobError instead; OracleErr reports a differential
+// failure (both machines ran but disagreed on output or status).
 type ProgramResult struct {
-	Name     string
-	Baseline emu.Stats
-	BRM      emu.Stats
+	Name        string
+	Baseline    emu.Stats
+	BRM         emu.Stats
+	BaselineErr *JobError
+	BRMErr      *JobError
+	OracleErr   *JobError
 }
 
-// SuiteResult is the full suite, plus totals.
+// setCellError records a failed cell on the matching machine's slot.
+func (p *ProgramResult) setCellError(kind isa.Kind, je *JobError) {
+	if kind == isa.Baseline {
+		p.BaselineErr = je
+	} else {
+		p.BRMErr = je
+	}
+}
+
+// Failed reports whether any cell or the oracle failed.
+func (p *ProgramResult) Failed() bool {
+	return p.BaselineErr != nil || p.BRMErr != nil || p.OracleErr != nil
+}
+
+// SuiteResult is the full suite, plus totals. Failures collects every
+// JobError in deterministic suite order (keep-going mode only; empty on
+// a clean run).
 type SuiteResult struct {
 	Programs      []ProgramResult
 	BaselineTotal emu.Stats
 	BRMTotal      emu.Stats
+	Failures      []*JobError
 }
 
 // RunSuite compiles and executes every workload on both machines,
@@ -68,6 +92,15 @@ func pct(new, old int64) float64 {
 	return 100 * float64(new-old) / float64(old)
 }
 
+// failOr renders a table cell: the value when the cell succeeded, or
+// FAIL(<kind>) so a faulted cell can never read as a measurement.
+func failOr(v int64, je *JobError) string {
+	if je != nil {
+		return fmt.Sprintf("FAIL(%s)", je.Kind)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
 // fmtPct renders a pct value for the tables, spelling out degenerate
 // cells instead of faking a number.
 func fmtPct(v float64) string {
@@ -86,12 +119,26 @@ func (r *SuiteResult) Table1() string {
 	fmt.Fprintf(&b, "%-12s %15s %15s %8s   %15s %15s %8s\n",
 		"program", "base insts", "BRM insts", "diff%", "base datarefs", "BRM datarefs", "diff%")
 	for _, p := range r.Programs {
+		if p.BaselineErr != nil || p.BRMErr != nil {
+			// A failed cell has no stats: render FAIL(<kind>) instead of
+			// fake zeros, and no percentage.
+			fmt.Fprintf(&b, "%-12s %15s %15s %8s   %15s %15s %8s\n",
+				p.Name,
+				failOr(p.Baseline.Instructions, p.BaselineErr),
+				failOr(p.BRM.Instructions, p.BRMErr), "n/a",
+				failOr(p.Baseline.DataRefs(), p.BaselineErr),
+				failOr(p.BRM.DataRefs(), p.BRMErr), "n/a")
+			continue
+		}
 		fmt.Fprintf(&b, "%-12s %15d %15d %8s   %15d %15d %8s\n",
 			p.Name,
 			p.Baseline.Instructions, p.BRM.Instructions,
 			fmtPct(pct(p.BRM.Instructions, p.Baseline.Instructions)),
 			p.Baseline.DataRefs(), p.BRM.DataRefs(),
 			fmtPct(pct(p.BRM.DataRefs(), p.Baseline.DataRefs())))
+		if p.OracleErr != nil {
+			fmt.Fprintf(&b, "%-12s   !! FAIL(%s): %s\n", "", p.OracleErr.Kind, p.OracleErr.Message)
+		}
 	}
 	fmt.Fprintf(&b, "%-12s %15d %15d %8s   %15d %15d %8s\n",
 		"TOTAL",

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"branchreg/internal/emu"
+)
+
+// Failure kinds beyond the emulator's trap taxonomy. A JobError.Kind is
+// either one of these or an emu.TrapKind name (emu.ParseTrapKind
+// recognizes the latter).
+const (
+	// FailCompile is a front-end/codegen error: the cell never ran.
+	FailCompile = "compile"
+	// FailPanic is a compiler or emulator panic converted by the worker
+	// pool's recover into a structured failure.
+	FailPanic = "panic"
+	// FailTimeout is a per-job deadline expiring.
+	FailTimeout = "timeout"
+	// FailOracle is the differential oracle: baseline and BRM disagreed
+	// on a workload's output or exit status.
+	FailOracle = "output-mismatch"
+	// FailRun is a non-trap execution error (a malformed program image).
+	FailRun = "run"
+)
+
+// JobError is one failed experiment cell, machine-readable: which cell,
+// in which phase, classified by kind (trap taxonomy or the Fail*
+// constants above). It is the per-job error object of report schema v2.
+type JobError struct {
+	Phase    string `json:"phase"`
+	Workload string `json:"workload,omitempty"`
+	Machine  string `json:"machine,omitempty"`
+	Kind     string `json:"kind"`
+	Message  string `json:"message"`
+	// Trap carries the emulator's full fault context when Kind is a
+	// trap name.
+	Trap *emu.Trap `json:"trap,omitempty"`
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	where := e.Phase
+	if e.Workload != "" {
+		where = e.Workload
+		if e.Machine != "" {
+			where += " on " + e.Machine
+		}
+	}
+	return fmt.Sprintf("exp: %s: %s: %s", where, e.Kind, e.Message)
+}
+
+// PanicError is a panic recovered from a pool job. The stack is kept for
+// the log; JobError.Message carries only the panic value so keep-going
+// reports stay byte-deterministic.
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return "panic: " + e.Value }
+
+// newJobError classifies err into a JobError for one cell. compiled
+// tells the classifier whether the cell got past compilation, so
+// non-trap errors split into compile vs run failures.
+func newJobError(phase, workload, machine string, compiled bool, err error) *JobError {
+	je := &JobError{
+		Phase:    phase,
+		Workload: workload,
+		Machine:  machine,
+		Message:  err.Error(),
+	}
+	var trap *emu.Trap
+	var pe *PanicError
+	switch {
+	case errors.As(err, &trap):
+		je.Kind = trap.Kind.String()
+		je.Trap = trap
+	case errors.As(err, &pe):
+		je.Kind = FailPanic
+		je.Message = pe.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		je.Kind = FailTimeout
+	case compiled:
+		je.Kind = FailRun
+	default:
+		je.Kind = FailCompile
+	}
+	return je
+}

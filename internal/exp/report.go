@@ -16,7 +16,12 @@ import (
 // ReportSchemaVersion identifies the JSON layout emitted by Report. Bump
 // it on any incompatible change so committed BENCH_<n>.json files remain
 // interpretable across PRs.
-const ReportSchemaVersion = 1
+//
+// v2: per-job error objects — Report.Errors lists every failed cell or
+// phase (keep-going mode) with a typed kind (emulator trap taxonomy or
+// compile/panic/timeout/output-mismatch) and the emulator's full trap
+// context; ProgramReport gains baseline_error/brm_error/oracle_error.
+const ReportSchemaVersion = 2
 
 // Float is a float64 that survives JSON: non-finite values (the ±Inf a
 // degenerate percentage cell reports, see pct) marshal as the strings
@@ -81,6 +86,14 @@ type AllSpec struct {
 	// AlignConfig is the alignment study's cache (zero = a small 2-way
 	// organization where alignment effects are visible).
 	AlignConfig cache.Config
+
+	// KeepGoing degrades failed cells and phases into typed JobErrors
+	// (AllResults.Errors / the report's errors array) instead of
+	// aborting the run on the first failure.
+	KeepGoing bool
+	// Faults maps "<workload>/<machine label>" to a deterministic fault
+	// plan injected into that suite cell (see Spec.Faults).
+	Faults map[string]*emu.FaultPlan
 }
 
 // DefaultCacheConfigs returns the cache study's standard sweep.
@@ -123,6 +136,10 @@ type AllResults struct {
 	AlignConfig  cache.Config
 	CompileCache driver.CacheStats
 	Phases       []PhaseTime
+	// Errors collects every failure the run degraded instead of
+	// aborting on (keep-going mode), in deterministic phase-then-suite
+	// order. Empty on a clean run.
+	Errors []*JobError
 }
 
 // RunAll executes the selected phases sequentially, each internally
@@ -143,10 +160,17 @@ func (r *Runner) RunAll(ctx context.Context, spec AllSpec) (*AllResults, error) 
 		spec.AlignConfig = cache.Config{LineWords: 8, Sets: 16, Assoc: 2, MissPenalty: 8}
 	}
 	out := &AllResults{Parallelism: r.workers(0)}
+	// phase runs one experiment phase. With KeepGoing a failed phase
+	// degrades to a typed JobError and the remaining phases still run;
+	// otherwise the first failure aborts as before.
 	phase := func(name string, f func() error) error {
 		start := time.Now()
 		if err := f(); err != nil {
-			return err
+			if !spec.KeepGoing {
+				return err
+			}
+			out.Errors = append(out.Errors, newJobError(name, "", "", false, err))
+			return nil
 		}
 		out.Phases = append(out.Phases, PhaseTime{Name: name, Millis: time.Since(start).Milliseconds()})
 		return nil
@@ -154,11 +178,13 @@ func (r *Runner) RunAll(ctx context.Context, spec AllSpec) (*AllResults, error) 
 
 	if spec.Suite {
 		if err := phase("suite", func() error {
-			s, err := r.Run(ctx, Spec{Workloads: spec.Workloads, Options: spec.Options})
+			s, err := r.Run(ctx, Spec{Workloads: spec.Workloads, Options: spec.Options,
+				KeepGoing: spec.KeepGoing, Faults: spec.Faults})
 			if err != nil {
 				return err
 			}
 			out.Suite = s
+			out.Errors = append(out.Errors, s.Failures...)
 			for _, p := range s.Programs {
 				out.Workloads = append(out.Workloads, p.Name)
 			}
@@ -243,6 +269,11 @@ type Report struct {
 	Alignment    *AlignmentReport   `json:"alignment,omitempty"`
 	CompileCache driver.CacheStats  `json:"compile_cache"`
 	Phases       []PhaseTime        `json:"phases,omitempty"`
+	// Errors is schema v2's per-job failure list: one object per failed
+	// cell or phase, with a typed kind and (for emulator faults) the
+	// full trap context. Non-empty exactly when the run degraded
+	// failures in keep-going mode.
+	Errors []*JobError `json:"errors,omitempty"`
 }
 
 // SuiteReport is Table I, the §7 cycle estimates and ratios, and
@@ -259,13 +290,18 @@ type SuiteReport struct {
 	MinPrefetchDist       int             `json:"min_prefetch_dist"`
 }
 
-// ProgramReport is one Table I row.
+// ProgramReport is one Table I row. The error fields are schema v2's
+// per-cell failure markers: a failed cell keeps zero stats and carries
+// the typed JobError instead.
 type ProgramReport struct {
 	Name           string    `json:"name"`
 	Baseline       emu.Stats `json:"baseline"`
 	BRM            emu.Stats `json:"brm"`
 	InstDiffPct    Float     `json:"inst_diff_pct"`
 	DataRefDiffPct Float     `json:"data_ref_diff_pct"`
+	BaselineError  *JobError `json:"baseline_error,omitempty"`
+	BRMError       *JobError `json:"brm_error,omitempty"`
+	OracleError    *JobError `json:"oracle_error,omitempty"`
 }
 
 // CycleReport is one §7 cycle-estimate row.
@@ -322,6 +358,7 @@ func (a *AllResults) Report() *Report {
 		Workloads:    a.Workloads,
 		CompileCache: a.CompileCache,
 		Phases:       a.Phases,
+		Errors:       a.Errors,
 	}
 	if s := a.Suite; s != nil {
 		sr := &SuiteReport{
@@ -339,6 +376,9 @@ func (a *AllResults) Report() *Report {
 				BRM:            p.BRM,
 				InstDiffPct:    Float(pct(p.BRM.Instructions, p.Baseline.Instructions)),
 				DataRefDiffPct: Float(pct(p.BRM.DataRefs(), p.Baseline.DataRefs())),
+				BaselineError:  p.BaselineErr,
+				BRMError:       p.BRMErr,
+				OracleError:    p.OracleErr,
 			})
 		}
 		for _, row := range s.Cycles([]int{3, 4, 5}) {

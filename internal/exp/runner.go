@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"branchreg/internal/cache"
 	"branchreg/internal/driver"
@@ -30,6 +32,18 @@ type Spec struct {
 	Options driver.Options
 	// Parallelism overrides the Runner's worker count when > 0.
 	Parallelism int
+	// KeepGoing records failed (workload, machine) cells as structured
+	// JobErrors in the SuiteResult and completes the rest of the suite,
+	// instead of the default first-error-cancels behavior.
+	KeepGoing bool
+	// Faults maps "<workload>/<machine label>" (e.g. "wc/BRM") to a
+	// deterministic fault plan armed on that cell's emulator.
+	Faults map[string]*emu.FaultPlan
+}
+
+// FaultKey builds a Spec.Faults key from a workload name and machine.
+func FaultKey(workload string, kind isa.Kind) string {
+	return workload + "/" + machineLabel(kind)
 }
 
 // Runner executes experiment jobs over a bounded worker pool, memoizing
@@ -43,6 +57,10 @@ type Runner struct {
 	Cache *driver.Cache
 	// Parallelism bounds the worker pool (<= 0 = runtime.GOMAXPROCS(0)).
 	Parallelism int
+	// JobTimeout bounds each pool job's wall clock (0 = none). The
+	// deadline is polled inside the emulator, so even a diverging
+	// program surfaces as a timeout failure instead of hanging the pool.
+	JobTimeout time.Duration
 	// Progress, when set, observes job completions: phase names the
 	// experiment, done/total count jobs. Called from worker goroutines.
 	Progress func(phase string, done, total int)
@@ -68,6 +86,23 @@ func (r *Runner) workers(override int) int {
 		n = runtime.GOMAXPROCS(0)
 	}
 	return n
+}
+
+// safeJob runs one pool job with the runner's per-job timeout applied
+// and panics converted into structured *PanicError failures, so a
+// compiler or emulator bug fails one job instead of the process.
+func (r *Runner) safeJob(ctx context.Context, i int, job func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: fmt.Sprint(p), Stack: string(debug.Stack())}
+		}
+	}()
+	if r.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.JobTimeout)
+		defer cancel()
+	}
+	return job(ctx, i)
 }
 
 // runJobs fans total jobs out over n workers. The first job error (lowest
@@ -100,7 +135,7 @@ func (r *Runner) runJobs(parent context.Context, phase string, n, total int, job
 				if ctx.Err() != nil {
 					return
 				}
-				if err := job(ctx, i); err != nil {
+				if err := r.safeJob(ctx, i, job); err != nil {
 					if !errors.Is(err, context.Canceled) {
 						mu.Lock()
 						if firstErr == nil || i < firstIdx {
@@ -169,10 +204,19 @@ func machineLabel(kind isa.Kind) string {
 	return "BRM"
 }
 
+// suiteCell is one (workload, machine) outcome: a result or a
+// structured failure (keep-going mode only).
+type suiteCell struct {
+	res *driver.Result
+	err *JobError
+}
+
 // Run executes the suite described by spec: every (workload, machine)
 // pair becomes one pool job, per-program results are merged in suite
 // order, and when both machines are present their outputs must agree
-// exactly as the serial path demanded.
+// (the differential oracle). By default the first failure cancels the
+// pool; with Spec.KeepGoing each failed cell degrades to a typed
+// JobError in the SuiteResult while the rest of the suite completes.
 func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 	if err := spec.Options.Validate(); err != nil {
 		return nil, err
@@ -186,19 +230,58 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 		machines = []isa.Kind{isa.Baseline, isa.BranchReg}
 	}
 
-	results := make([]*driver.Result, len(sel)*len(machines))
-	err = r.runJobs(ctx, "suite", r.workers(spec.Parallelism), len(results),
-		func(ctx context.Context, i int) error {
+	// work runs one cell, reporting whether it got past compilation so
+	// failures classify as compile vs run.
+	work := func(ctx context.Context, i int) (res *driver.Result, compiled bool, err error) {
+		w := sel[i/len(machines)]
+		kind := machines[i%len(machines)]
+		p, err := r.cache().Compile(ctx, w.FullSource(), kind, spec.Options)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, true, err
+		}
+		res, err = driver.RunProgramContext(ctx, p, w.Input, spec.Faults[FaultKey(w.Name, kind)])
+		return res, true, err
+	}
+
+	cells := make([]suiteCell, len(sel)*len(machines))
+	job := func(ctx context.Context, i int) error {
+		res, _, err := work(ctx, i)
+		if err != nil {
 			w := sel[i/len(machines)]
-			kind := machines[i%len(machines)]
-			res, err := r.cache().Run(ctx, w.FullSource(), kind, w.Input, spec.Options)
-			if err != nil {
-				return fmt.Errorf("exp: %s on %s: %w", w.Name, machineLabel(kind), err)
+			return fmt.Errorf("exp: %s on %s: %w", w.Name, machineLabel(machines[i%len(machines)]), err)
+		}
+		cells[i].res = res
+		return nil
+	}
+	if spec.KeepGoing {
+		job = func(ctx context.Context, i int) error {
+			res, compiled, err := func() (res *driver.Result, compiled bool, err error) {
+				// Recover locally so a panicking cell degrades like any
+				// other failure instead of cancelling the pool.
+				defer func() {
+					if p := recover(); p != nil {
+						err = &PanicError{Value: fmt.Sprint(p), Stack: string(debug.Stack())}
+					}
+				}()
+				return work(ctx, i)
+			}()
+			switch {
+			case err == nil:
+				cells[i].res = res
+			case errors.Is(err, context.Canceled):
+				return err // external cancellation, not a cell failure
+			default:
+				w := sel[i/len(machines)]
+				cells[i].err = newJobError("suite", w.Name,
+					machineLabel(machines[i%len(machines)]), compiled, err)
 			}
-			results[i] = res
 			return nil
-		})
-	if err != nil {
+		}
+	}
+	if err := r.runJobs(ctx, "suite", r.workers(spec.Parallelism), len(cells), job); err != nil {
 		return nil, err
 	}
 
@@ -208,11 +291,28 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 		pr := ProgramResult{Name: w.Name}
 		var first *driver.Result
 		for mi, kind := range machines {
-			res := results[wi*len(machines)+mi]
+			cell := cells[wi*len(machines)+mi]
+			if cell.err != nil {
+				pr.setCellError(kind, cell.err)
+				out.Failures = append(out.Failures, cell.err)
+				continue
+			}
+			res := cell.res
 			if first == nil {
 				first = res
 			} else if res.Output != first.Output || res.Status != first.Status {
-				return nil, fmt.Errorf("exp: %s: machines disagree", w.Name)
+				je := &JobError{
+					Phase:    "suite",
+					Workload: w.Name,
+					Kind:     FailOracle,
+					Message: fmt.Sprintf("machines disagree: %s status %d vs %s status %d",
+						machineLabel(machines[0]), first.Status, machineLabel(kind), res.Status),
+				}
+				if !spec.KeepGoing {
+					return nil, je
+				}
+				pr.OracleErr = je
+				out.Failures = append(out.Failures, je)
 			}
 			switch kind {
 			case isa.Baseline:

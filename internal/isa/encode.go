@@ -30,18 +30,45 @@ import "fmt"
 //	movbr      op | brd(3) | bsrc(3) or rd/rs1(4) | br
 //	trap       op | imm23 | br
 
-// field packs v into w bits at offset off, panicking if it does not fit.
-func field(v int32, w, off uint, signed bool, what string) uint32 {
+// enc accumulates instruction fields, capturing the first operand-range
+// or alignment violation as an error instead of panicking: a codegen bug
+// must fail that one compilation, not the process. The zero value is
+// ready to use.
+type enc struct {
+	w   uint32
+	err error
+}
+
+// failf records the first failure; later fields become no-ops.
+func (e *enc) failf(format string, args ...interface{}) {
+	if e.err == nil {
+		e.err = fmt.Errorf(format, args...)
+	}
+}
+
+// field packs v into w bits at offset off, recording an error if it does
+// not fit.
+func (e *enc) field(v int32, w, off uint, signed bool, what string) {
 	if signed {
 		if !FitsSigned(v, w) {
-			panic(fmt.Sprintf("isa: %s %d does not fit %d signed bits", what, v, w))
+			e.failf("isa: %s %d does not fit %d signed bits", what, v, w)
+			return
 		}
-	} else {
-		if v < 0 || uint32(v) >= 1<<w {
-			panic(fmt.Sprintf("isa: %s %d does not fit %d unsigned bits", what, v, w))
-		}
+	} else if v < 0 || uint32(v) >= 1<<w {
+		e.failf("isa: %s %d does not fit %d unsigned bits", what, v, w)
+		return
 	}
-	return (uint32(v) & (1<<w - 1)) << off
+	e.w |= (uint32(v) & (1<<w - 1)) << off
+}
+
+// wordDisp converts a byte displacement to a word displacement, recording
+// an error on misalignment.
+func (e *enc) wordDisp(byteDisp int32) int32 {
+	if byteDisp%WordSize != 0 {
+		e.failf("isa: misaligned displacement %d", byteDisp)
+		return 0
+	}
+	return byteDisp / WordSize
 }
 
 func extract(word uint32, w, off uint, signed bool) int32 {
@@ -61,223 +88,211 @@ func b2i(b bool) int32 {
 
 // Encode packs the instruction into a 32-bit word for machine k.
 // Instructions must be linked (no unresolved symbolic targets).
+// Operand-range and alignment violations come back as errors — the
+// encode boundary is where a codegen bug must surface without taking
+// down the process.
 func Encode(in Instr, k Kind) (uint32, error) {
 	if in.Target != "" || in.DataTarget != "" {
 		return 0, fmt.Errorf("isa: cannot encode unlinked instruction (target %q%q)", in.Target, in.DataTarget)
 	}
-	return encodeChecked(in, k)
-}
-
-func encodeChecked(in Instr, k Kind) (w uint32, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("%v", r)
-		}
-	}()
+	var e enc
 	if k == Baseline {
-		return encodeBase(in), nil
+		encodeBase(&e, in)
+	} else {
+		encodeBRM(&e, in)
 	}
-	return encodeBRM(in), nil
+	if e.err != nil {
+		return 0, e.err
+	}
+	return e.w, nil
 }
 
-func opField(op Op) uint32 { return field(int32(op), 6, 26, false, "opcode") }
-
-func encodeBase(in Instr) uint32 {
+func encodeBase(e *enc, in Instr) {
 	if in.Op.IsBRMOnly() {
-		panic(fmt.Sprintf("isa: %v is not a baseline op", in.Op))
+		e.failf("isa: %v is not a baseline op", in.Op)
+		return
 	}
-	w := opField(in.Op)
+	e.field(int32(in.Op), 6, 26, false, "opcode")
 	checkReg := func(r int, what string) {
-		lim := BaselineDataRegs
-		if r < 0 || r >= lim {
-			panic(fmt.Sprintf("isa: baseline %s register %d out of range", what, r))
+		if r < 0 || r >= BaselineDataRegs {
+			e.failf("isa: baseline %s register %d out of range", what, r)
 		}
 	}
 	switch in.Op {
 	case OpNop:
 	case OpB:
-		w |= field(int32(in.Cond), 4, 22, false, "cond")
-		w |= field(wordDisp(in.Imm), 22, 0, true, "branch disp")
+		e.field(int32(in.Cond), 4, 22, false, "cond")
+		e.field(e.wordDisp(in.Imm), 22, 0, true, "branch disp")
 	case OpCall:
-		w |= field(wordDisp(in.Imm), 26, 0, true, "call disp")
+		e.field(e.wordDisp(in.Imm), 26, 0, true, "call disp")
 	case OpJr, OpJalr:
 		checkReg(in.Rs1, "rs1")
-		w |= field(int32(in.Rs1), 5, 21, false, "rs1")
+		e.field(int32(in.Rs1), 5, 21, false, "rs1")
 	case OpSethi:
 		checkReg(in.Rd, "rd")
-		w |= field(int32(in.Rd), 5, 21, false, "rd")
-		w |= field(in.Imm, 21, 0, false, "sethi imm")
+		e.field(int32(in.Rd), 5, 21, false, "rd")
+		e.field(in.Imm, 21, 0, false, "sethi imm")
 	case OpCmp, OpFcmp:
-		w |= field(int32(in.Cond), 4, 22, false, "cond")
+		e.field(int32(in.Cond), 4, 22, false, "cond")
 		checkReg(in.Rs1, "rs1")
-		w |= field(int32(in.Rs1), 5, 17, false, "rs1")
-		w |= field(b2i(in.UseImm), 1, 16, false, "i")
+		e.field(int32(in.Rs1), 5, 17, false, "rs1")
+		e.field(b2i(in.UseImm), 1, 16, false, "i")
 		if in.UseImm {
-			w |= field(in.Imm, 15, 0, true, "cmp imm")
+			e.field(in.Imm, 15, 0, true, "cmp imm")
 		} else {
 			checkReg(in.Rs2, "rs2")
-			w |= field(int32(in.Rs2), 5, 0, false, "rs2")
+			e.field(int32(in.Rs2), 5, 0, false, "rs2")
 		}
 	case OpSet, OpFSet:
-		w |= field(int32(in.Cond), 4, 22, false, "cond")
+		e.field(int32(in.Cond), 4, 22, false, "cond")
 		checkReg(in.Rd, "rd")
-		w |= field(int32(in.Rd), 5, 17, false, "rd")
+		e.field(int32(in.Rd), 5, 17, false, "rd")
 		checkReg(in.Rs1, "rs1")
-		w |= field(int32(in.Rs1), 5, 12, false, "rs1")
-		w |= field(b2i(in.UseImm), 1, 11, false, "i")
+		e.field(int32(in.Rs1), 5, 12, false, "rs1")
+		e.field(b2i(in.UseImm), 1, 11, false, "i")
 		if in.UseImm {
-			w |= field(in.Imm, 11, 0, true, "set imm")
+			e.field(in.Imm, 11, 0, true, "set imm")
 		} else {
 			checkReg(in.Rs2, "rs2")
-			w |= field(int32(in.Rs2), 5, 0, false, "rs2")
+			e.field(int32(in.Rs2), 5, 0, false, "rs2")
 		}
 	case OpTrap:
-		w |= field(in.Imm, 26, 0, false, "trap code")
+		e.field(in.Imm, 26, 0, false, "trap code")
 	default: // ALU, memory, FP
 		rd := in.Rd
 		if rd < 0 {
 			rd = 0
 		}
 		checkReg(rd, "rd")
-		w |= field(int32(rd), 5, 21, false, "rd")
+		e.field(int32(rd), 5, 21, false, "rd")
 		rs1 := in.Rs1
 		if rs1 < 0 {
 			rs1 = 0
 		}
 		checkReg(rs1, "rs1")
-		w |= field(int32(rs1), 5, 16, false, "rs1")
-		w |= field(b2i(in.UseImm), 1, 15, false, "i")
+		e.field(int32(rs1), 5, 16, false, "rs1")
+		e.field(b2i(in.UseImm), 1, 15, false, "i")
 		if in.UseImm {
-			w |= field(in.Imm, 15, 0, true, "imm")
+			e.field(in.Imm, 15, 0, true, "imm")
 		} else {
 			rs2 := in.Rs2
 			if rs2 < 0 {
 				rs2 = 0
 			}
 			checkReg(rs2, "rs2")
-			w |= field(int32(rs2), 5, 0, false, "rs2")
+			e.field(int32(rs2), 5, 0, false, "rs2")
 		}
 	}
-	return w
 }
 
-func encodeBRM(in Instr) uint32 {
+func encodeBRM(e *enc, in Instr) {
 	if in.Op.IsBaselineBranch() || in.Op == OpCmp || in.Op == OpFcmp {
-		panic(fmt.Sprintf("isa: %v is not a BRM op", in.Op))
+		e.failf("isa: %v is not a BRM op", in.Op)
+		return
 	}
-	w := opField(in.Op)
-	w |= field(int32(in.BR), 3, 0, false, "br")
+	e.field(int32(in.Op), 6, 26, false, "opcode")
+	e.field(int32(in.BR), 3, 0, false, "br")
 	checkReg := func(r int, what string) {
 		if r < 0 || r >= BRMDataRegs {
-			panic(fmt.Sprintf("isa: BRM %s register %d out of range", what, r))
+			e.failf("isa: BRM %s register %d out of range", what, r)
 		}
 	}
 	checkBr := func(b int, what string) {
 		if b < 0 || b >= BRMBranchRegs {
-			panic(fmt.Sprintf("isa: BRM %s branch register %d out of range", what, b))
+			e.failf("isa: BRM %s branch register %d out of range", what, b)
 		}
 	}
 	switch in.Op {
 	case OpNop:
 	case OpSethi:
 		checkReg(in.Rd, "rd")
-		w |= field(int32(in.Rd), 4, 22, false, "rd")
-		w |= field(in.Imm, 19, 3, false, "sethi imm")
+		e.field(int32(in.Rd), 4, 22, false, "rd")
+		e.field(in.Imm, 19, 3, false, "sethi imm")
 	case OpBrCalc:
 		checkBr(in.Rd, "brd")
-		w |= field(int32(in.Rd), 3, 23, false, "brd")
+		e.field(int32(in.Rd), 3, 23, false, "brd")
 		if in.Rs1 < 0 { // PC-relative
-			w |= field(1, 1, 22, false, "pcrel")
-			w |= field(wordDisp(in.Imm), 18, 4, true, "brcalc disp")
+			e.field(1, 1, 22, false, "pcrel")
+			e.field(e.wordDisp(in.Imm), 18, 4, true, "brcalc disp")
 		} else {
 			checkReg(in.Rs1, "rs1")
-			w |= field(int32(in.Rs1), 4, 18, false, "rs1")
-			w |= field(in.Imm, 12, 4, true, "brcalc lo")
+			e.field(int32(in.Rs1), 4, 18, false, "rs1")
+			e.field(in.Imm, 12, 4, true, "brcalc lo")
 		}
 	case OpBrLd:
 		checkBr(in.Rd, "brd")
 		checkReg(in.Rs1, "rs1")
-		w |= field(int32(in.Rd), 3, 23, false, "brd")
-		w |= field(int32(in.Rs1), 4, 18, false, "rs1")
-		w |= field(in.Imm, 12, 4, true, "brld off")
+		e.field(int32(in.Rd), 3, 23, false, "brd")
+		e.field(int32(in.Rs1), 4, 18, false, "rs1")
+		e.field(in.Imm, 12, 4, true, "brld off")
 	case OpCmpBr, OpFCmpBr:
-		w |= field(int32(in.Cond), 4, 22, false, "cond")
+		e.field(int32(in.Cond), 4, 22, false, "cond")
 		checkBr(in.BSrc, "bsrc")
-		w |= field(int32(in.BSrc), 3, 19, false, "bsrc")
+		e.field(int32(in.BSrc), 3, 19, false, "bsrc")
 		checkReg(in.Rs1, "rs1")
-		w |= field(int32(in.Rs1), 4, 15, false, "rs1")
-		w |= field(b2i(in.UseImm), 1, 14, false, "i")
+		e.field(int32(in.Rs1), 4, 15, false, "rs1")
+		e.field(b2i(in.UseImm), 1, 14, false, "i")
 		if in.UseImm {
-			w |= field(in.Imm, 11, 3, true, "cmp imm")
+			e.field(in.Imm, 11, 3, true, "cmp imm")
 		} else {
 			checkReg(in.Rs2, "rs2")
-			w |= field(int32(in.Rs2), 4, 3, false, "rs2")
+			e.field(int32(in.Rs2), 4, 3, false, "rs2")
 		}
 	case OpSet, OpFSet:
-		w |= field(int32(in.Cond), 4, 22, false, "cond")
+		e.field(int32(in.Cond), 4, 22, false, "cond")
 		checkReg(in.Rd, "rd")
-		w |= field(int32(in.Rd), 4, 18, false, "rd")
+		e.field(int32(in.Rd), 4, 18, false, "rd")
 		checkReg(in.Rs1, "rs1")
-		w |= field(int32(in.Rs1), 4, 14, false, "rs1")
-		w |= field(b2i(in.UseImm), 1, 13, false, "i")
+		e.field(int32(in.Rs1), 4, 14, false, "rs1")
+		e.field(b2i(in.UseImm), 1, 13, false, "i")
 		if in.UseImm {
-			w |= field(in.Imm, 10, 3, true, "set imm")
+			e.field(in.Imm, 10, 3, true, "set imm")
 		} else {
 			checkReg(in.Rs2, "rs2")
-			w |= field(int32(in.Rs2), 4, 3, false, "rs2")
+			e.field(int32(in.Rs2), 4, 3, false, "rs2")
 		}
 	case OpMovBr:
 		checkBr(in.Rd, "brd")
 		checkBr(in.BSrc, "bsrc")
-		w |= field(int32(in.Rd), 3, 23, false, "brd")
-		w |= field(int32(in.BSrc), 3, 20, false, "bsrc")
+		e.field(int32(in.Rd), 3, 23, false, "brd")
+		e.field(int32(in.BSrc), 3, 20, false, "bsrc")
 	case OpMovRB:
 		checkReg(in.Rd, "rd")
 		checkBr(in.BSrc, "bsrc")
-		w |= field(int32(in.Rd), 4, 22, false, "rd")
-		w |= field(int32(in.BSrc), 3, 19, false, "bsrc")
+		e.field(int32(in.Rd), 4, 22, false, "rd")
+		e.field(int32(in.BSrc), 3, 19, false, "bsrc")
 	case OpMovBR:
 		checkBr(in.Rd, "brd")
 		checkReg(in.Rs1, "rs1")
-		w |= field(int32(in.Rd), 3, 23, false, "brd")
-		w |= field(int32(in.Rs1), 4, 19, false, "rs1")
+		e.field(int32(in.Rd), 3, 23, false, "brd")
+		e.field(int32(in.Rs1), 4, 19, false, "rs1")
 	case OpTrap:
-		w |= field(in.Imm, 23, 3, false, "trap code")
+		e.field(in.Imm, 23, 3, false, "trap code")
 	default: // ALU, memory, FP
 		rd := in.Rd
 		if rd < 0 {
 			rd = 0
 		}
 		checkReg(rd, "rd")
-		w |= field(int32(rd), 4, 22, false, "rd")
+		e.field(int32(rd), 4, 22, false, "rd")
 		rs1 := in.Rs1
 		if rs1 < 0 {
 			rs1 = 0
 		}
 		checkReg(rs1, "rs1")
-		w |= field(int32(rs1), 4, 18, false, "rs1")
-		w |= field(b2i(in.UseImm), 1, 17, false, "i")
+		e.field(int32(rs1), 4, 18, false, "rs1")
+		e.field(b2i(in.UseImm), 1, 17, false, "i")
 		if in.UseImm {
-			w |= field(in.Imm, 12, 3, true, "imm")
+			e.field(in.Imm, 12, 3, true, "imm")
 		} else {
 			rs2 := in.Rs2
 			if rs2 < 0 {
 				rs2 = 0
 			}
 			checkReg(rs2, "rs2")
-			w |= field(int32(rs2), 4, 3, false, "rs2")
+			e.field(int32(rs2), 4, 3, false, "rs2")
 		}
 	}
-	return w
-}
-
-// wordDisp converts a byte displacement to a word displacement, checking
-// alignment.
-func wordDisp(byteDisp int32) int32 {
-	if byteDisp%WordSize != 0 {
-		panic(fmt.Sprintf("isa: misaligned displacement %d", byteDisp))
-	}
-	return byteDisp / WordSize
 }
 
 // Decode unpacks a 32-bit word encoded for machine k. Decode is the inverse

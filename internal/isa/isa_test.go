@@ -300,6 +300,53 @@ func TestEncodeRejectsOutOfRange(t *testing.T) {
 	}
 }
 
+func TestEncodeRejectsMisalignedDisp(t *testing.T) {
+	// Branch and call displacements are word-granular; a byte-misaligned
+	// displacement is a codegen bug and must come back as an error.
+	if _, err := Encode(Instr{Op: OpB, Cond: CondAlways, UseImm: true, Imm: 6}, Baseline); err == nil {
+		t.Error("baseline must reject misaligned branch displacement")
+	}
+	if _, err := Encode(Instr{Op: OpCall, UseImm: true, Imm: 10}, Baseline); err == nil {
+		t.Error("baseline must reject misaligned call displacement")
+	}
+	if _, err := Encode(Instr{Op: OpBrCalc, Rd: 1, Rs1: -1, UseImm: true, Imm: 14}, BranchReg); err == nil {
+		t.Error("BRM must reject misaligned brcalc displacement")
+	}
+}
+
+// TestEncodeNeverPanics feeds adversarial operand garbage straight into
+// Encode: every violation must surface as a returned error at the encode
+// boundary — a panic here would take down a whole experiment process for
+// one bad compilation.
+func TestEncodeNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(20260806))
+	extremes := []int32{-1 << 31, -5000, -33, -1, 0, 1, 2, 3, 31, 33, 4999, 1<<31 - 1}
+	pick := func() int32 {
+		if r.Intn(2) == 0 {
+			return extremes[r.Intn(len(extremes))]
+		}
+		return int32(r.Uint32())
+	}
+	for i := 0; i < 20000; i++ {
+		in := Instr{
+			Op:     Op(r.Intn(64)),
+			Cond:   Cond(r.Intn(16)),
+			Rd:     int(pick()),
+			Rs1:    int(pick()),
+			Rs2:    int(pick()),
+			BR:     int(pick()),
+			BSrc:   int(pick()),
+			Imm:    pick(),
+			UseImm: r.Intn(2) == 0,
+			Lo:     r.Intn(2) == 0,
+		}
+		for _, k := range []Kind{Baseline, BranchReg} {
+			// Any panic fails the test; errors are the contract.
+			_, _ = Encode(in, k)
+		}
+	}
+}
+
 func TestInstrPredicates(t *testing.T) {
 	j := Instr{Op: OpB, Cond: CondAlways}
 	if !j.IsTransfer(Baseline) || j.IsTransfer(BranchReg) {

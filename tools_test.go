@@ -121,7 +121,7 @@ func TestBrbenchJSONAndFilter(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("brbench -json wrote invalid JSON: %v\n%.400s", err, raw)
 	}
-	if rep.Schema != 1 {
+	if rep.Schema != 2 {
 		t.Errorf("schema = %d", rep.Schema)
 	}
 	if len(rep.Suite.Programs) != 2 {
@@ -129,6 +129,77 @@ func TestBrbenchJSONAndFilter(t *testing.T) {
 	}
 	if rep.CompileCache.Misses != rep.CompileCache.Entries {
 		t.Errorf("compile cache reports recompilation: %+v", rep.CompileCache)
+	}
+}
+
+// TestBrbenchKeepGoing injects a deterministic fault into one suite cell
+// and checks the keep-going contract: the rest of the suite completes,
+// the faulted cell renders as FAIL(<kind>) and lands in the JSON report's
+// errors array (schema v2) with its trap context, and brbench exits
+// non-zero so CI still notices.
+func TestBrbenchKeepGoing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool test")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	cmd := exec.Command("go", "run", "./cmd/brbench",
+		"-table1", "-keep-going", "-workloads", "wc,sieve",
+		"-inject", "wc/brm/trap@100", "-json", path)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Errorf("brbench -keep-going with an injected fault exited 0:\n%.600s", out)
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Errorf("brbench exit: %v (want exit status 1)\n%.600s", err, out)
+	}
+	if !strings.Contains(string(out), "FAIL(injected)") {
+		t.Errorf("table does not mark the faulted cell:\n%.900s", out)
+	}
+	// The untouched workload must still be measured.
+	if !strings.Contains(string(out), "sieve") {
+		t.Errorf("keep-going did not complete the rest of the suite:\n%.900s", out)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema int `json:"schema"`
+		Suite  struct {
+			Programs []struct {
+				Name     string          `json:"name"`
+				BRMError json.RawMessage `json:"brm_error"`
+			} `json:"programs"`
+		} `json:"suite"`
+		Errors []struct {
+			Workload string `json:"workload"`
+			Machine  string `json:"machine"`
+			Kind     string `json:"kind"`
+			Trap     struct {
+				Kind string `json:"kind"`
+				Fn   string `json:"fn"`
+			} `json:"trap"`
+		} `json:"errors"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%.400s", err, raw)
+	}
+	if rep.Schema != 2 {
+		t.Errorf("schema = %d, want 2", rep.Schema)
+	}
+	if len(rep.Errors) != 1 {
+		t.Fatalf("errors = %d, want exactly the injected cell:\n%s", len(rep.Errors), raw)
+	}
+	e := rep.Errors[0]
+	if e.Workload != "wc" || e.Machine != "BRM" || e.Kind != "injected" || e.Trap.Kind != "injected" {
+		t.Errorf("error object = %+v, want wc/BRM injected with trap context", e)
+	}
+	// Exactly the faulted cell is marked; the other cells carry stats.
+	for _, p := range rep.Suite.Programs {
+		marked := len(p.BRMError) > 0
+		if (p.Name == "wc") != marked {
+			t.Errorf("program %s: brm_error present=%v", p.Name, marked)
+		}
 	}
 }
 
