@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race fuzz-smoke check bench
+.PHONY: all build test vet race fuzz-smoke check bench bench-all
 
 all: build
 
@@ -32,6 +32,11 @@ fuzz-smoke:
 
 check: vet race fuzz-smoke
 
-# Regenerate the paper's evaluation as benchmarks with custom metrics.
+# Run the throughput benchmarks at a fixed -benchtime and append an entry
+# to BENCH_emulator.json, the committed benchmark-trajectory artifact.
 bench:
+	$(GO) run ./cmd/benchrecord
+
+# Regenerate the paper's full evaluation as benchmarks with custom metrics.
+bench-all:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -11,6 +11,7 @@ import (
 
 	"branchreg/internal/cache"
 	"branchreg/internal/driver"
+	"branchreg/internal/emu"
 	"branchreg/internal/exp"
 	"branchreg/internal/isa"
 	"branchreg/internal/pipeline"
@@ -207,7 +208,9 @@ func BenchmarkCompile(b *testing.B) {
 }
 
 // BenchmarkEmulator measures raw emulation speed (instructions per second)
-// on a compute-bound workload.
+// on a compute-bound workload. This is the throughput figure tracked in
+// BENCH_emulator.json (see `make bench`); under default LoopAuto selection
+// it exercises the predecoded fast loop.
 func BenchmarkEmulator(b *testing.B) {
 	o := driver.DefaultOptions()
 	w, _ := workloads.ByName("sieve")
@@ -217,6 +220,34 @@ func BenchmarkEmulator(b *testing.B) {
 			var insts int64
 			for i := 0; i < b.N; i++ {
 				res, err := driver.Run(context.Background(), w.FullSource(), kind, w.Input, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = res.Stats.Instructions
+			}
+			b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "emulated-insts/s")
+		})
+	}
+}
+
+// BenchmarkEmulatorInstrumented measures the forced instruction-at-a-time
+// Step loop on the same workload — the engine the cache/pipeline studies
+// and fault injection pay for. The gap between this and BenchmarkEmulator
+// is the predecode win.
+func BenchmarkEmulatorInstrumented(b *testing.B) {
+	o := driver.DefaultOptions()
+	w, _ := workloads.ByName("sieve")
+	for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			p, err := driver.Compile(context.Background(), w.FullSource(), kind, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var insts int64
+			for i := 0; i < b.N; i++ {
+				res, err := driver.RunProgramWith(context.Background(), p, w.Input,
+					driver.RunConfig{Loop: emu.LoopInstrumented})
 				if err != nil {
 					b.Fatal(err)
 				}

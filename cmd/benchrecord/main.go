@@ -1,0 +1,151 @@
+// Command benchrecord runs the repository's throughput benchmarks at a
+// fixed -benchtime and appends one entry to BENCH_emulator.json, the
+// committed benchmark-trajectory artifact. Each entry records the commit,
+// the date, emulated-insts/s per machine kind from BenchmarkEmulator, and
+// the Table I suite wall-clock from BenchmarkTable1, so the emulator's
+// performance is tracked across PRs instead of anecdotally.
+//
+// Usage:
+//
+//	benchrecord [-out BENCH_emulator.json] [-benchtime 3x] [-label text]
+//	benchrecord -print   # run and print the entry without writing
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema versions BENCH_emulator.json; bump on incompatible change.
+const Schema = 1
+
+// File is the committed artifact: a version plus the entry trajectory,
+// oldest first.
+type File struct {
+	Schema  int     `json:"schema"`
+	Tool    string  `json:"tool"`
+	Entries []Entry `json:"entries"`
+}
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Commit    string `json:"commit"`
+	Date      string `json:"date"` // YYYY-MM-DD (UTC)
+	Label     string `json:"label,omitempty"`
+	Benchtime string `json:"benchtime"`
+	// EmulatedInstsPerSec maps machine kind ("baseline", "branchreg") to
+	// BenchmarkEmulator's emulated-insts/s metric.
+	EmulatedInstsPerSec map[string]float64 `json:"emulated_insts_per_sec"`
+	// Table1WallClockMillis is BenchmarkTable1's ns/op (the full Table I
+	// suite, compile + emulate) in milliseconds.
+	Table1WallClockMillis float64 `json:"table1_wall_clock_ms"`
+}
+
+var (
+	emuLine    = regexp.MustCompile(`^BenchmarkEmulator/(baseline|branchreg)\S*\s+\d+\s+[\d.]+ ns/op\s+([\d.e+]+) emulated-insts/s`)
+	table1Line = regexp.MustCompile(`^BenchmarkTable1\S*\s+\d+\s+([\d.]+) ns/op`)
+)
+
+func main() {
+	out := flag.String("out", "BENCH_emulator.json", "trajectory file to append to")
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	label := flag.String("label", "", "free-text label for this entry")
+	printOnly := flag.Bool("print", false, "print the entry as JSON without writing the file")
+	flag.Parse()
+
+	entry, err := measure(*benchtime, *label)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+	if *printOnly {
+		b, _ := json.MarshalIndent(entry, "", "  ")
+		fmt.Println(string(b))
+		return
+	}
+	if err := appendEntry(*out, *entry); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchrecord: appended %s entry to %s (baseline %.0f insts/s, branchreg %.0f insts/s, Table1 %.1f ms)\n",
+		entry.Commit, *out, entry.EmulatedInstsPerSec["baseline"],
+		entry.EmulatedInstsPerSec["branchreg"], entry.Table1WallClockMillis)
+}
+
+func measure(benchtime, label string) (*Entry, error) {
+	cmd := exec.Command("go", "test", "-run=^$",
+		"-bench=^BenchmarkEmulator$|^BenchmarkTable1$",
+		"-benchtime="+benchtime, ".")
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w\n%s", err, outBytes)
+	}
+	entry := &Entry{
+		Commit:              gitCommit(),
+		Date:                time.Now().UTC().Format("2006-01-02"),
+		Label:               label,
+		Benchtime:           benchtime,
+		EmulatedInstsPerSec: map[string]float64{},
+	}
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		if m := emuLine.FindStringSubmatch(line); m != nil {
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", line, err)
+			}
+			entry.EmulatedInstsPerSec[m[1]] = v
+		} else if m := table1Line.FindStringSubmatch(line); m != nil {
+			ns, err := strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", line, err)
+			}
+			entry.Table1WallClockMillis = ns / 1e6
+		}
+	}
+	if len(entry.EmulatedInstsPerSec) != 2 || entry.Table1WallClockMillis == 0 {
+		return nil, fmt.Errorf("benchmark output missing expected metrics:\n%s", outBytes)
+	}
+	return entry, nil
+}
+
+// gitCommit returns the short HEAD hash, "-dirty" suffixed when the
+// working tree differs, or "unknown" outside a git checkout.
+func gitCommit() string {
+	rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	commit := strings.TrimSpace(string(rev))
+	if out, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(out) > 0 {
+		commit += "-dirty"
+	}
+	return commit
+}
+
+func appendEntry(path string, e Entry) error {
+	f := &File{Schema: Schema, Tool: "benchrecord"}
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, f); err != nil {
+			return fmt.Errorf("existing %s is unreadable: %w", path, err)
+		}
+		if f.Schema != Schema {
+			return fmt.Errorf("existing %s has schema %d, tool writes %d", path, f.Schema, Schema)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f.Entries = append(f.Entries, e)
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -148,14 +148,5 @@ func RunProgram(p *isa.Program, input string) (*Result, error) {
 // timeouts interrupt diverging programs) and an optional deterministic
 // fault plan. Emulator faults come back as *emu.Trap.
 func RunProgramContext(ctx context.Context, p *isa.Program, input string, plan *emu.FaultPlan) (*Result, error) {
-	m, err := emu.New(p, input)
-	if err != nil {
-		return nil, err
-	}
-	m.SetFaultPlan(plan)
-	status, err := m.RunContext(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Output: m.Output(), Status: status, Stats: m.Stats}, nil
+	return RunProgramWith(ctx, p, input, RunConfig{Faults: plan})
 }

@@ -1,0 +1,159 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"branchreg/internal/emu"
+	"branchreg/internal/isa"
+	"branchreg/internal/workloads"
+)
+
+// Driver-level golden differential: the full workload suite and a sweep of
+// generated programs must produce identical Results from the predecoded
+// fast loop and the instrumented loop, and the pooled-memory runner must
+// stay correct under concurrency (run with -race via `make check`).
+
+// runBothEngines executes p under both engines and fails on divergence,
+// returning the (shared) result.
+func runBothEngines(t *testing.T, p *isa.Program, input string) *Result {
+	t.Helper()
+	fast, ferr := RunProgramWith(context.Background(), p, input, RunConfig{Loop: emu.LoopFast})
+	inst, ierr := RunProgramWith(context.Background(), p, input, RunConfig{Loop: emu.LoopInstrumented})
+	if (ferr == nil) != (ierr == nil) {
+		t.Fatalf("error divergence: fast=%v instrumented=%v", ferr, ierr)
+	}
+	if ferr != nil {
+		var ft, it *emu.Trap
+		if errors.As(ferr, &ft) != errors.As(ierr, &it) || (ft != nil && !reflect.DeepEqual(*ft, *it)) {
+			t.Fatalf("trap divergence: fast=%v instrumented=%v", ferr, ierr)
+		}
+		return nil
+	}
+	if *fast != *inst {
+		t.Fatalf("result divergence:\n fast: %+v\n inst: %+v", fast, inst)
+	}
+	return fast
+}
+
+func TestEnginesWorkloadDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential is not short")
+	}
+	o := DefaultOptions()
+	for _, w := range workloads.All() {
+		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+			w, kind := w, kind
+			t.Run(fmt.Sprintf("%s/%v", w.Name, kind), func(t *testing.T) {
+				t.Parallel()
+				p, err := Compile(context.Background(), w.FullSource(), kind, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runBothEngines(t, p, w.Input)
+			})
+		}
+	}
+}
+
+func TestEnginesGeneratedProgramDifferential(t *testing.T) {
+	// The same generator that seeds the native fuzz targets, swept over a
+	// fixed set of seeds as a deterministic regression net.
+	o := DefaultOptions()
+	for seed := int64(0); seed < 25; seed++ {
+		gen := &progGen{r: rand.New(rand.NewSource(seed))}
+		src := gen.generate()
+		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+			p, err := Compile(context.Background(), src, kind, o)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v\nprogram:\n%s", seed, kind, err, src)
+			}
+			if runBothEngines(t, p, "") == nil {
+				t.Fatalf("seed %d %v: generated program trapped\nprogram:\n%s", seed, kind, src)
+			}
+		}
+	}
+}
+
+func TestMemPoolConcurrentRunners(t *testing.T) {
+	// Pooled memory buffers are recycled across runs; concurrent runners
+	// must never observe another run's writes (buffers are zeroed on
+	// release) or race on the pool. Meaningful under -race.
+	names := []string{"sieve", "wc", "tinycc"}
+	type cell struct {
+		p     *isa.Program
+		input string
+		want  Result
+	}
+	var cells []cell
+	for _, name := range names {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("no workload %q", name)
+		}
+		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+			p, err := Compile(context.Background(), w.FullSource(), kind, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{OutputHint: w.OutputHint})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells = append(cells, cell{p: p, input: w.Input, want: *ref})
+		}
+	}
+	const workers, rounds = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c := cells[(g+i)%len(cells)]
+				res, err := RunProgramWith(context.Background(), c.p, c.input, RunConfig{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if *res != c.want {
+					errs <- fmt.Errorf("pooled run diverged for %s", c.p.Kind)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestRunConfigOutputHintHarmless(t *testing.T) {
+	// A wildly wrong hint must never change results.
+	w, _ := workloads.ByName("wc")
+	p, err := Compile(context.Background(), w.FullSource(), isa.Baseline, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hint := range []int{-5, 0, 1, 1 << 20} {
+		res, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{OutputHint: hint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *res != *ref {
+			t.Errorf("hint %d changed the result", hint)
+		}
+	}
+}

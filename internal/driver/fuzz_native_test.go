@@ -20,7 +20,8 @@ import (
 
 // FuzzDifferentialPrograms is the coverage-guided form of
 // TestFuzzDifferential: one generated program per input, compared across
-// the IR interpreter and both machines.
+// the IR interpreter and both machines — and, per machine, across the
+// predecoded fast loop and the instrumented loop (identical Stats too).
 func FuzzDifferentialPrograms(f *testing.F) {
 	for _, seed := range []int64{1, 20260706, 424242} {
 		f.Add(seed)
@@ -38,13 +39,25 @@ func FuzzDifferentialPrograms(f *testing.F) {
 			t.Fatalf("irexec: %v\nprogram:\n%s", err, src)
 		}
 		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-			res, err := Run(context.Background(), src, kind, "", o)
+			p, err := Compile(context.Background(), src, kind, o)
 			if err != nil {
 				t.Fatalf("%v: %v\nprogram:\n%s", kind, err, src)
 			}
-			if res.Status != refStatus || res.Output != refOut {
+			fast, err := RunProgramWith(context.Background(), p, "", RunConfig{Loop: emu.LoopFast})
+			if err != nil {
+				t.Fatalf("%v fast: %v\nprogram:\n%s", kind, err, src)
+			}
+			if fast.Status != refStatus || fast.Output != refOut {
 				t.Fatalf("%v diverges: status %d vs reference %d\nprogram:\n%s",
-					kind, res.Status, refStatus, src)
+					kind, fast.Status, refStatus, src)
+			}
+			inst, err := RunProgramWith(context.Background(), p, "", RunConfig{Loop: emu.LoopInstrumented})
+			if err != nil {
+				t.Fatalf("%v instrumented: %v\nprogram:\n%s", kind, err, src)
+			}
+			if *fast != *inst {
+				t.Fatalf("%v engine divergence:\n fast: %+v\n inst: %+v\nprogram:\n%s",
+					kind, fast, inst, src)
 			}
 		}
 	})

@@ -1,0 +1,66 @@
+package driver
+
+import (
+	"context"
+	"sync"
+
+	"branchreg/internal/emu"
+	"branchreg/internal/isa"
+)
+
+// The emulator's memory image is isa.MemBytes (4 MiB) per run. An
+// experiment suite executes hundreds of runs across exp.Runner's worker
+// pool, so allocating a fresh image each time dominates the allocation
+// profile and keeps the garbage collector busy reclaiming identical
+// buffers. The pool recycles them; buffers are zeroed on release so a
+// pooled Get is indistinguishable from a fresh allocation.
+
+var memPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, isa.MemBytes)
+		return &b
+	},
+}
+
+// borrowMem returns a zeroed isa.MemBytes buffer. The *[]byte indirection
+// keeps the slice header itself off the heap on Put.
+func borrowMem() *[]byte {
+	return memPool.Get().(*[]byte)
+}
+
+// releaseMem zeroes the buffer and returns it to the pool.
+func releaseMem(b *[]byte) {
+	clear(*b)
+	memPool.Put(b)
+}
+
+// RunConfig carries per-run execution options for RunProgramWith.
+type RunConfig struct {
+	// Faults is an optional deterministic fault-injection plan.
+	Faults *emu.FaultPlan
+	// OutputHint pre-sizes the emulator's output buffer to the number of
+	// bytes the workload is expected to write (0 = no hint).
+	OutputHint int
+	// Loop selects the emulator engine; the zero value (emu.LoopAuto)
+	// picks the fast loop whenever hooks and faults permit.
+	Loop emu.LoopMode
+}
+
+// RunProgramWith executes a linked program with pooled emulator memory
+// and the given run configuration. Emulator faults come back as *emu.Trap.
+func RunProgramWith(ctx context.Context, p *isa.Program, input string, cfg RunConfig) (*Result, error) {
+	mem := borrowMem()
+	defer releaseMem(mem)
+	m, err := emu.NewWithMem(p, input, *mem)
+	if err != nil {
+		return nil, err
+	}
+	m.SetFaultPlan(cfg.Faults)
+	m.Loop = cfg.Loop
+	m.ReserveOutput(cfg.OutputHint)
+	status, err := m.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: m.Output(), Status: status, Stats: m.Stats}, nil
+}

@@ -8,6 +8,7 @@ package emu
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"branchreg/internal/isa"
@@ -133,11 +134,24 @@ type Machine struct {
 	pc      int // Text index
 	pending int // delayed-branch target index, -2 when none (baseline)
 
-	funcEntry map[int]bool // Text indices that begin functions
+	funcEntry []bool // Text indices that begin functions, len == len(P.Text)
 
 	faults *faultState // deterministic fault-injection state (nil = none)
 
+	dec     []uop  // predecoded form, built lazily by RunContext
+	scratch []byte // putf formatting buffer
+
 	MaxInstructions int64
+
+	// Loop selects the execution engine; the zero value (LoopAuto) uses the
+	// fast loop whenever no hooks are installed and no fault plan is armed.
+	Loop LoopMode
+}
+
+// isFuncEntry reports whether Text index idx begins a function. Transfer
+// targets can be arbitrary computed addresses, so idx is range-checked.
+func (m *Machine) isFuncEntry(idx int) bool {
+	return idx >= 0 && idx < len(m.funcEntry) && m.funcEntry[idx]
 }
 
 // halt target: transferring to byte address 0 ends the program.
@@ -145,20 +159,33 @@ const haltAddr = 0
 
 // New prepares an emulator for a linked program with the given input.
 func New(p *isa.Program, input string) (*Machine, error) {
+	return NewWithMem(p, input, nil)
+}
+
+// NewWithMem is New with a caller-provided memory buffer (e.g. from a pool).
+// mem must be zeroed and exactly isa.MemBytes long; pass nil to allocate.
+func NewWithMem(p *isa.Program, input string, mem []byte) (*Machine, error) {
 	if !p.Linked {
 		return nil, fmt.Errorf("emu: program is not linked")
 	}
+	if mem == nil {
+		mem = make([]byte, isa.MemBytes)
+	} else if len(mem) != isa.MemBytes {
+		return nil, fmt.Errorf("emu: memory buffer is %d bytes, want %d", len(mem), isa.MemBytes)
+	}
 	m := &Machine{
 		P:               p,
-		Mem:             make([]byte, isa.MemBytes),
+		Mem:             mem,
 		input:           []byte(input),
 		pending:         -2,
-		funcEntry:       map[int]bool{},
+		funcEntry:       make([]bool, len(p.Text)),
 		MaxInstructions: 4_000_000_000,
 	}
 	copy(m.Mem[isa.DataBase:], p.DataImage)
 	for _, idx := range p.FuncStarts {
-		m.funcEntry[idx] = true
+		if idx >= 0 && idx < len(m.funcEntry) {
+			m.funcEntry[idx] = true
+		}
 	}
 	spReg := isa.BaseSPReg
 	if p.Kind == isa.BranchReg {
@@ -178,6 +205,14 @@ func New(p *isa.Program, input string) (*Machine, error) {
 // Output returns everything the program wrote.
 func (m *Machine) Output() string { return m.out.String() }
 
+// ReserveOutput pre-sizes the output buffer for a workload expected to
+// write about n bytes, avoiding grow-and-copy churn on the putc hot path.
+func (m *Machine) ReserveOutput(n int) {
+	if n > 0 {
+		m.out.Grow(n)
+	}
+}
+
 // Status returns the exit status.
 func (m *Machine) Status() int32 { return m.status }
 
@@ -194,7 +229,37 @@ const ctxCheckStride = 1 << 16
 // RunContext executes until halt, returning the exit status. The context
 // is polled every ctxCheckStride instructions, so a per-job timeout
 // interrupts even a diverging program.
+//
+// The engine is chosen by m.Loop: under LoopAuto (the default) the
+// predecoded fast loop runs whenever it can reproduce the instrumented
+// loop exactly — no hooks installed and no fault plan armed — and the
+// instruction-at-a-time Step loop runs otherwise.
 func (m *Machine) RunContext(ctx context.Context) (int32, error) {
+	fast := false
+	switch m.Loop {
+	case LoopFast:
+		if m.hooksInstalled() || m.faults != nil {
+			return 0, fmt.Errorf("emu: LoopFast cannot honor hooks or fault plans")
+		}
+		fast = true
+	case LoopAuto:
+		fast = !m.hooksInstalled() && m.faults == nil
+	}
+	if fast {
+		if m.dec == nil {
+			m.dec = predecode(m.P)
+		}
+		if m.P.Kind == isa.Baseline {
+			return m.runFastBaseline(ctx)
+		}
+		return m.runFastBRM(ctx)
+	}
+	return m.runInstrumented(ctx)
+}
+
+// runInstrumented is the original Step-at-a-time engine, required for
+// hooks (cache and pipeline studies) and fault injection.
+func (m *Machine) runInstrumented(ctx context.Context) (int32, error) {
 	next := m.Stats.Instructions + ctxCheckStride
 	for !m.halted {
 		if err := m.Step(); err != nil {
@@ -431,11 +496,20 @@ func (m *Machine) trap(in *isa.Instr) error {
 	case isa.TrapPutc:
 		m.out.WriteByte(byte(m.R[1]))
 	case isa.TrapPutf:
-		fmt.Fprintf(&m.out, "%.4f", m.F[1])
+		m.putFloat(m.F[1])
 	default:
 		return m.trapHere(TrapIllegalInstr, "unknown trap %d", in.Imm)
 	}
 	return nil
+}
+
+// putFloat appends v formatted as %.4f — the putf trap's fixed format —
+// without fmt's reflection and interface allocation on the hot path.
+// strconv.AppendFloat('f', 4) matches fmt's output for every value,
+// including NaN and the infinities.
+func (m *Machine) putFloat(v float64) {
+	m.scratch = strconv.AppendFloat(m.scratch[:0], v, 'f', 4, 64)
+	m.out.Write(m.scratch)
 }
 
 func floatBits(f float64) uint64 {

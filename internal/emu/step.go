@@ -227,7 +227,7 @@ func (m *Machine) brmAdvance(in *isa.Instr, addr int32, now int64) error {
 		switch {
 		case idx == -1:
 			// exit to the halt address: not a workload transfer
-		case m.funcEntry[idx]:
+		case m.isFuncEntry(idx):
 			m.Stats.Calls++
 		case b.isRA:
 			m.Stats.Returns++

@@ -242,7 +242,10 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, true, err
 		}
-		res, err = driver.RunProgramContext(ctx, p, w.Input, spec.Faults[FaultKey(w.Name, kind)])
+		res, err = driver.RunProgramWith(ctx, p, w.Input, driver.RunConfig{
+			Faults:     spec.Faults[FaultKey(w.Name, kind)],
+			OutputHint: w.OutputHint,
+		})
 		return res, true, err
 	}
 

@@ -16,6 +16,10 @@ type Workload struct {
 	Source      string // MC source (the prelude is appended automatically)
 	Input       string
 	NoPrelude   bool // program defines everything itself
+	// OutputHint is the approximate number of output bytes the workload
+	// writes, used to pre-size the emulator's output buffer. Purely an
+	// allocation hint: a wrong value can never change results.
+	OutputHint int
 }
 
 // Prelude is the tiny runtime library linked into every workload.
@@ -48,25 +52,25 @@ int slen(char *s) { int n = 0; for (; *s; s++) n++; return n; }
 // All returns every workload in a stable order.
 func All() []Workload {
 	return []Workload{
-		{Name: "cal", Class: "utility", Description: "calendar generator", Source: srcCal, Input: ""},
-		{Name: "cb", Class: "utility", Description: "C program beautifier", Source: srcCb, Input: strings.Repeat(cbInput, 60)},
-		{Name: "compact", Class: "utility", Description: "file compression", Source: srcCompact, Input: textInput(40)},
-		{Name: "diff", Class: "utility", Description: "file differences", Source: srcDiff, Input: diffInput},
-		{Name: "grep", Class: "utility", Description: "search for pattern", Source: srcGrep, Input: "ing\n" + textInput(60)},
-		{Name: "nroff", Class: "utility", Description: "text formatter", Source: srcNroff, Input: textInput(50)},
-		{Name: "od", Class: "utility", Description: "octal dump", Source: srcOd, Input: textInput(12)},
-		{Name: "sed", Class: "utility", Description: "stream editor", Source: srcSed, Input: "the\nTHE\n" + textInput(50)},
-		{Name: "sort", Class: "utility", Description: "sort lines", Source: srcSort, Input: sortInput},
-		{Name: "spline", Class: "benchmark", Description: "interpolate curve", Source: srcSpline, Input: ""},
-		{Name: "tr", Class: "utility", Description: "translate characters", Source: srcTr, Input: "aeiou\nAEIOU\n" + textInput(40)},
-		{Name: "wc", Class: "utility", Description: "word count", Source: srcWc, Input: textInput(80)},
-		{Name: "dhrystone", Class: "benchmark", Description: "synthetic integer benchmark", Source: srcDhrystone, Input: ""},
-		{Name: "matmult", Class: "benchmark", Description: "matrix multiplication", Source: srcMatmult, Input: ""},
-		{Name: "puzzle", Class: "benchmark", Description: "recursion and arrays", Source: srcPuzzle, Input: ""},
-		{Name: "sieve", Class: "benchmark", Description: "iteration", Source: srcSieve, Input: ""},
-		{Name: "whetstone", Class: "benchmark", Description: "floating-point arithmetic", Source: srcWhetstone, Input: ""},
-		{Name: "mincost", Class: "user", Description: "VLSI circuit partitioning", Source: srcMincost, Input: ""},
-		{Name: "tinycc", Class: "user", Description: "small expression compiler (vpcc stand-in)", Source: srcTinycc, Input: tinyccInput},
+		{Name: "cal", Class: "utility", Description: "calendar generator", Source: srcCal, Input: "", OutputHint: 32768},
+		{Name: "cb", Class: "utility", Description: "C program beautifier", Source: srcCb, Input: strings.Repeat(cbInput, 60), OutputHint: 8192},
+		{Name: "compact", Class: "utility", Description: "file compression", Source: srcCompact, Input: textInput(40), OutputHint: 4096},
+		{Name: "diff", Class: "utility", Description: "file differences", Source: srcDiff, Input: diffInput, OutputHint: 64},
+		{Name: "grep", Class: "utility", Description: "search for pattern", Source: srcGrep, Input: "ing\n" + textInput(60), OutputHint: 4096},
+		{Name: "nroff", Class: "utility", Description: "text formatter", Source: srcNroff, Input: textInput(50), OutputHint: 4096},
+		{Name: "od", Class: "utility", Description: "octal dump", Source: srcOd, Input: textInput(12), OutputHint: 4096},
+		{Name: "sed", Class: "utility", Description: "stream editor", Source: srcSed, Input: "the\nTHE\n" + textInput(50), OutputHint: 4096},
+		{Name: "sort", Class: "utility", Description: "sort lines", Source: srcSort, Input: sortInput, OutputHint: 2048},
+		{Name: "spline", Class: "benchmark", Description: "interpolate curve", Source: srcSpline, Input: "", OutputHint: 16},
+		{Name: "tr", Class: "utility", Description: "translate characters", Source: srcTr, Input: "aeiou\nAEIOU\n" + textInput(40), OutputHint: 2048},
+		{Name: "wc", Class: "utility", Description: "word count", Source: srcWc, Input: textInput(80), OutputHint: 16},
+		{Name: "dhrystone", Class: "benchmark", Description: "synthetic integer benchmark", Source: srcDhrystone, Input: "", OutputHint: 16},
+		{Name: "matmult", Class: "benchmark", Description: "matrix multiplication", Source: srcMatmult, Input: "", OutputHint: 16},
+		{Name: "puzzle", Class: "benchmark", Description: "recursion and arrays", Source: srcPuzzle, Input: "", OutputHint: 32},
+		{Name: "sieve", Class: "benchmark", Description: "iteration", Source: srcSieve, Input: "", OutputHint: 16},
+		{Name: "whetstone", Class: "benchmark", Description: "floating-point arithmetic", Source: srcWhetstone, Input: "", OutputHint: 16},
+		{Name: "mincost", Class: "user", Description: "VLSI circuit partitioning", Source: srcMincost, Input: "", OutputHint: 16},
+		{Name: "tinycc", Class: "user", Description: "small expression compiler (vpcc stand-in)", Source: srcTinycc, Input: tinyccInput, OutputHint: 32},
 	}
 }
 

@@ -203,6 +203,50 @@ func TestBrbenchKeepGoing(t *testing.T) {
 	}
 }
 
+// TestBenchTrajectoryParses guards the committed benchmark-trajectory
+// artifact: BENCH_emulator.json must stay parseable with the schema the
+// benchrecord tool writes, hold at least the pre-PR baseline entry, and
+// carry positive throughput for both machine kinds in every entry.
+func TestBenchTrajectoryParses(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_emulator.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Schema  int    `json:"schema"`
+		Tool    string `json:"tool"`
+		Entries []struct {
+			Commit              string             `json:"commit"`
+			Date                string             `json:"date"`
+			Benchtime           string             `json:"benchtime"`
+			EmulatedInstsPerSec map[string]float64 `json:"emulated_insts_per_sec"`
+			Table1WallClockMs   float64            `json:"table1_wall_clock_ms"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("BENCH_emulator.json is invalid: %v", err)
+	}
+	if f.Schema != 1 {
+		t.Errorf("schema = %d, want 1", f.Schema)
+	}
+	if len(f.Entries) == 0 {
+		t.Fatal("no entries")
+	}
+	for i, e := range f.Entries {
+		if e.Commit == "" || e.Date == "" || e.Benchtime == "" {
+			t.Errorf("entry %d missing commit/date/benchtime: %+v", i, e)
+		}
+		for _, kind := range []string{"baseline", "branchreg"} {
+			if e.EmulatedInstsPerSec[kind] <= 0 {
+				t.Errorf("entry %d: %s throughput = %v", i, kind, e.EmulatedInstsPerSec[kind])
+			}
+		}
+		if e.Table1WallClockMs <= 0 {
+			t.Errorf("entry %d: table1 wall clock = %v", i, e.Table1WallClockMs)
+		}
+	}
+}
+
 func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tool test")
