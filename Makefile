@@ -3,12 +3,16 @@
 # experiment engine's worker pool (suite equality, cancellation, compile
 # cache singleflight) with race checking enabled, plus a short
 # coverage-guided fuzz smoke over the differential fuzzer and the fault
-# injector (trap or clean exit, never a panic).
+# injector (trap or clean exit, never a panic), plus the benchmark gate
+# (emulator throughput must stay within BENCH_REGRESS percent of the last
+# committed BENCH_emulator.json entry — the profiling hooks in the fast
+# loops are budgeted, not assumed, cheap).
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCH_REGRESS ?= 3.0
 
-.PHONY: all build test vet race fuzz-smoke check bench bench-all
+.PHONY: all build test vet race fuzz-smoke check bench bench-all bench-gate
 
 all: build
 
@@ -30,12 +34,18 @@ fuzz-smoke:
 	$(GO) test ./internal/driver -run='^$$' -fuzz=FuzzDifferentialPrograms -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/driver -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=$(FUZZTIME)
 
-check: vet race fuzz-smoke
+check: vet race fuzz-smoke bench-gate
 
 # Run the throughput benchmarks at a fixed -benchtime and append an entry
 # to BENCH_emulator.json, the committed benchmark-trajectory artifact.
 bench:
 	$(GO) run ./cmd/benchrecord
+
+# Fail if emulator throughput regressed more than BENCH_REGRESS percent
+# against the last committed trajectory entry (remeasures once on a
+# suspected regression to absorb scheduler noise).
+bench-gate:
+	$(GO) run ./cmd/benchrecord -gate -max-regress $(BENCH_REGRESS)
 
 # Regenerate the paper's full evaluation as benchmarks with custom metrics.
 bench-all:

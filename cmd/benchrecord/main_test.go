@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func entryWith(baseline, branchreg float64) *Entry {
+	return &Entry{
+		Commit: "abc1234",
+		EmulatedInstsPerSec: map[string]float64{
+			"baseline":  baseline,
+			"branchreg": branchreg,
+		},
+	}
+}
+
+func TestGateCheckPasses(t *testing.T) {
+	last := entryWith(100e6, 90e6)
+	for _, fresh := range []*Entry{
+		entryWith(100e6, 90e6), // flat
+		entryWith(120e6, 95e6), // faster
+		entryWith(98e6, 88e6),  // -2% / -2.2%: inside the 3% budget
+	} {
+		if bad := gateCheck(last, fresh, 3.0); len(bad) != 0 {
+			t.Errorf("gateCheck(%v) = %v, want pass", fresh.EmulatedInstsPerSec, bad)
+		}
+	}
+}
+
+func TestGateCheckFailsOnRegression(t *testing.T) {
+	last := entryWith(100e6, 90e6)
+	bad := gateCheck(last, entryWith(95e6, 90e6), 3.0) // baseline -5%
+	if len(bad) != 1 || !strings.Contains(bad[0], "baseline") {
+		t.Fatalf("gateCheck = %v, want one baseline violation", bad)
+	}
+	bad = gateCheck(last, entryWith(90e6, 80e6), 3.0) // both regress
+	if len(bad) != 2 {
+		t.Fatalf("gateCheck = %v, want two violations", bad)
+	}
+	// Violations are sorted by kind for deterministic output.
+	if !strings.Contains(bad[0], "baseline") || !strings.Contains(bad[1], "branchreg") {
+		t.Fatalf("gateCheck order = %v, want baseline then branchreg", bad)
+	}
+}
+
+func TestGateCheckThreshold(t *testing.T) {
+	last := entryWith(100e6, 100e6)
+	fresh := entryWith(96e6, 96e6) // exactly 4% down
+	if bad := gateCheck(last, fresh, 5.0); len(bad) != 0 {
+		t.Errorf("4%% drop under 5%% budget = %v, want pass", bad)
+	}
+	if bad := gateCheck(last, fresh, 3.0); len(bad) != 2 {
+		t.Errorf("4%% drop under 3%% budget = %v, want two violations", bad)
+	}
+}
+
+func TestGateCheckIgnoresMissingHistory(t *testing.T) {
+	// An old entry without a kind (or with a zero) cannot gate that kind.
+	last := &Entry{EmulatedInstsPerSec: map[string]float64{"baseline": 0}}
+	if bad := gateCheck(last, entryWith(1, 1), 3.0); len(bad) != 0 {
+		t.Errorf("zero-history gate = %v, want pass", bad)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"branchreg/internal/emu"
 	"branchreg/internal/exp"
 	"branchreg/internal/isa"
+	"branchreg/internal/obs"
 	"branchreg/internal/pipeline"
 )
 
@@ -64,6 +65,13 @@ func main() {
 	inject := flag.String("inject", "",
 		"comma-separated fault injections, each workload/machine/fault[@n]\n"+
 			"(machine: baseline|brm; fault: flip|breg|uninit|budget|trap|panic)")
+	tracePath := flag.String("trace", "",
+		"write a Chrome trace_event JSON of the run to this path\n"+
+			"(open in chrome://tracing or https://ui.perfetto.dev)")
+	profile := flag.Bool("profile", false,
+		"profile suite runs: print per-program hot-block tables and add\n"+
+			"hot_blocks to the JSON report")
+	metrics := flag.Bool("metrics", false, "print the process metrics registry after the run")
 	flag.Parse()
 
 	if *all {
@@ -99,13 +107,20 @@ func main() {
 		Align:      *align,
 		Workloads:  names,
 		KeepGoing:  *keepGoing,
+		Profile:    *profile,
 		Faults:     faults,
+	}
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
 	}
 
 	var mu sync.Mutex
 	lastLine := map[string]int{}
 	runner := &exp.Runner{
 		Parallelism: *par,
+		Tracer:      tracer,
 		Progress: func(phase string, done, total int) {
 			// Report at ~10% strides so parallel runs stay readable.
 			stride := total / 10
@@ -167,6 +182,9 @@ func main() {
 		fmt.Println(pipeline.FormatTrace(
 			"Figure 8: pipeline actions, BRM conditional transfer", pipeline.Figure8()))
 	}
+	if *profile && res.Suite != nil {
+		fmt.Println(res.Suite.HotBlockTables())
+	}
 	if *fig9 && res.Suite != nil {
 		fmt.Printf("Figure 9: the target address must be calculated at least %d instructions\n"+
 			"before the transfer to avoid a pipeline delay (3 stages, 1-cycle cache).\n\n",
@@ -197,6 +215,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "brbench: wrote %s (%d bytes)\n", *jsonPath, len(b))
+	}
+
+	if tracer != nil {
+		b, err := tracer.ChromeTrace()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*tracePath, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "brbench: wrote trace %s (%d spans)\n", *tracePath, len(tracer.Spans()))
+	}
+	if *metrics {
+		fmt.Fprint(os.Stderr, obs.Default.Snapshot().Format())
 	}
 
 	// Keep-going mode completed the suite around the failures; report

@@ -75,6 +75,7 @@ func (c *Cache) Compile(ctx context.Context, src string, kind isa.Kind, o Option
 	e, ok := c.entries[key]
 	if ok {
 		c.hits++
+		mCacheHits.Inc()
 		c.mu.Unlock()
 		select {
 		case <-e.done:
@@ -86,6 +87,7 @@ func (c *Cache) Compile(ctx context.Context, src string, kind isa.Kind, o Option
 	e = &cacheEntry{done: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
+	mCacheMisses.Inc()
 	c.mu.Unlock()
 
 	// Compile under context.Background(): the result outlives this

@@ -8,6 +8,7 @@ package driver
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"branchreg/internal/codegen"
 	"branchreg/internal/core"
@@ -84,6 +85,11 @@ func Compile(ctx context.Context, src string, kind isa.Kind, o Options) (*isa.Pr
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	defer func() {
+		mCompiles.Inc()
+		mCompileNS.Observe(time.Since(start).Nanoseconds())
+	}()
 	iu, err := Lower(src, o)
 	if err != nil {
 		return nil, err
@@ -120,6 +126,11 @@ type Result struct {
 	Output string
 	Status int32
 	Stats  emu.Stats
+	// Engine names the emulator loop that actually executed the run
+	// (emu.EngineFast or emu.EngineInstrumented) — recorded explicitly
+	// because LoopAuto's fallback to the instrumented loop is otherwise
+	// invisible to callers.
+	Engine string
 }
 
 // Run compiles and executes src on the given machine with the given stdin.

@@ -2,10 +2,13 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"sync"
+	"time"
 
 	"branchreg/internal/emu"
 	"branchreg/internal/isa"
+	"branchreg/internal/obs"
 )
 
 // The emulator's memory image is isa.MemBytes (4 MiB) per run. An
@@ -17,6 +20,7 @@ import (
 
 var memPool = sync.Pool{
 	New: func() interface{} {
+		mPoolFresh.Inc()
 		b := make([]byte, isa.MemBytes)
 		return &b
 	},
@@ -25,12 +29,16 @@ var memPool = sync.Pool{
 // borrowMem returns a zeroed isa.MemBytes buffer. The *[]byte indirection
 // keeps the slice header itself off the heap on Put.
 func borrowMem() *[]byte {
+	mPoolGets.Inc()
 	return memPool.Get().(*[]byte)
 }
 
 // releaseMem zeroes the buffer and returns it to the pool.
 func releaseMem(b *[]byte) {
+	start := time.Now()
 	clear(*b)
+	mPoolZeroNS.Observe(time.Since(start).Nanoseconds())
+	mPoolPuts.Inc()
 	memPool.Put(b)
 }
 
@@ -44,6 +52,10 @@ type RunConfig struct {
 	// Loop selects the emulator engine; the zero value (emu.LoopAuto)
 	// picks the fast loop whenever hooks and faults permit.
 	Loop emu.LoopMode
+	// Profile, when set, receives the run's flow counts (see
+	// emu.BlockProfile). Must be sized for p.Text; profiling does not
+	// force the instrumented engine.
+	Profile *emu.BlockProfile
 }
 
 // RunProgramWith executes a linked program with pooled emulator memory
@@ -57,10 +69,26 @@ func RunProgramWith(ctx context.Context, p *isa.Program, input string, cfg RunCo
 	}
 	m.SetFaultPlan(cfg.Faults)
 	m.Loop = cfg.Loop
+	m.Prof = cfg.Profile
 	m.ReserveOutput(cfg.OutputHint)
+	start := time.Now()
 	status, err := m.RunContext(ctx)
+	mRuns.Inc()
+	mRunNS.Observe(time.Since(start).Nanoseconds())
+	switch m.Engine() {
+	case emu.EngineFast:
+		mEngineFast.Inc()
+	case emu.EngineInstrumented:
+		mEngineInst.Inc()
+	}
+	mEmuInsts.Add(m.Stats.Instructions)
+	mEmuTransfers.Add(m.Stats.Transfers())
 	if err != nil {
+		var t *emu.Trap
+		if errors.As(err, &t) {
+			obs.Default.Counter("emu.trap." + t.Kind.String()).Inc()
+		}
 		return nil, err
 	}
-	return &Result{Output: m.Output(), Status: status, Stats: m.Stats}, nil
+	return &Result{Output: m.Output(), Status: status, Stats: m.Stats, Engine: m.Engine()}, nil
 }

@@ -1,0 +1,154 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"branchreg/internal/emu"
+	"branchreg/internal/isa"
+	"branchreg/internal/workloads"
+)
+
+// Profiling differential: attaching a BlockProfile must be invisible to
+// the program — byte-identical output and identical Stats across the full
+// workload suite on both machines — must not knock a run off the fast
+// path, and must produce flow counts that conserve (per-instruction
+// counts sum to Stats.Instructions) and agree across engines.
+
+func TestProfiledRunsMatchUnprofiled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential is not short")
+	}
+	o := DefaultOptions()
+	for _, w := range workloads.All() {
+		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+			w, kind := w, kind
+			t.Run(fmt.Sprintf("%s/%v", w.Name, kind), func(t *testing.T) {
+				t.Parallel()
+				p, err := Compile(context.Background(), w.FullSource(), kind, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plain, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				prof := emu.NewBlockProfile(len(p.Text))
+				profiled, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{Profile: prof})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if *plain != *profiled {
+					t.Fatalf("profiling changed the run:\n plain:    %+v\n profiled: %+v", plain, profiled)
+				}
+				if profiled.Engine != emu.EngineFast {
+					t.Fatalf("profiled run left the fast path: engine %q", profiled.Engine)
+				}
+				var sum, taken, notTaken, penalty int64
+				for _, c := range prof.Counts() {
+					sum += c
+				}
+				if sum != profiled.Stats.Instructions {
+					t.Fatalf("flow conservation broken: counts sum to %d, Stats.Instructions = %d",
+						sum, profiled.Stats.Instructions)
+				}
+				for i := range prof.Taken {
+					taken += prof.Taken[i]
+					notTaken += prof.NotTaken[i]
+					penalty += prof.Penalty[i]
+				}
+				st := &profiled.Stats
+				if kind == isa.Baseline {
+					want := st.UncondJumps + st.CondBranches + st.Calls + st.Returns
+					if taken+notTaken != want {
+						t.Fatalf("branch tallies %d+%d != executed transfers %d", taken, notTaken, want)
+					}
+					if penalty != 0 {
+						t.Fatalf("baseline run accumulated BRM penalty %d", penalty)
+					}
+				} else {
+					if taken != st.PrefetchHit+st.PrefetchMiss {
+						t.Fatalf("taken tallies %d != taken transfers %d", taken, st.PrefetchHit+st.PrefetchMiss)
+					}
+					if notTaken != st.CondBranches-st.CondTaken {
+						t.Fatalf("not-taken tallies %d != untaken conditionals %d",
+							notTaken, st.CondBranches-st.CondTaken)
+					}
+					var wantPenalty int64
+					for d := 0; d < emu.MinPrefetchDist; d++ {
+						wantPenalty += int64(emu.MinPrefetchDist-d) * st.DistHist[d]
+					}
+					if penalty != wantPenalty {
+						t.Fatalf("penalty %d != Figure 9 penalty %d", penalty, wantPenalty)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestProfileEnginesAgree(t *testing.T) {
+	// The fast loop's inlined profile updates and the instrumented loop's
+	// profBranch/jumpTo updates must fill identical arrays.
+	o := DefaultOptions()
+	names := []string{"sieve", "puzzle", "sort"}
+	for _, name := range names {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("no workload %s", name)
+		}
+		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+			p, err := Compile(context.Background(), w.FullSource(), kind, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fastProf := emu.NewBlockProfile(len(p.Text))
+			instProf := emu.NewBlockProfile(len(p.Text))
+			if _, err := RunProgramWith(context.Background(), p, w.Input,
+				RunConfig{Loop: emu.LoopFast, Profile: fastProf}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := RunProgramWith(context.Background(), p, w.Input,
+				RunConfig{Loop: emu.LoopInstrumented, Profile: instProf}); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fastProf, instProf) {
+				t.Fatalf("%s/%v: engines disagree on the profile", name, kind)
+			}
+		}
+	}
+}
+
+func TestEngineRecordedOnAutoFallback(t *testing.T) {
+	// Satellite fix: LoopAuto falls back to the instrumented loop when
+	// hooks or faults are present — the run must say so.
+	w, ok := workloads.ByName("sieve")
+	if !ok {
+		t.Fatal("no workload sieve")
+	}
+	p, err := Compile(context.Background(), w.FullSource(), isa.Baseline, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Engine != emu.EngineFast {
+		t.Fatalf("plain auto run: engine %q, want %q", auto.Engine, emu.EngineFast)
+	}
+
+	m, err := emu.New(p, w.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Hooks.Fetch = func(addr int32) {}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Engine() != emu.EngineInstrumented {
+		t.Fatalf("hooked auto run: engine %q, want %q", m.Engine(), emu.EngineInstrumented)
+	}
+}

@@ -7,6 +7,7 @@ package emu
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -141,6 +142,13 @@ type Machine struct {
 	dec     []uop  // predecoded form, built lazily by RunContext
 	scratch []byte // putf formatting buffer
 
+	// Prof, when set, accumulates flow counts at transfers of control
+	// (see BlockProfile). Profiling is fast-path compatible: it never
+	// forces the instrumented loop.
+	Prof        *BlockProfile
+	profEntered bool   // Arrive[entry] already charged for this machine
+	engine      string // engine used by the last RunContext (see Engine)
+
 	MaxInstructions int64
 
 	// Loop selects the execution engine; the zero value (LoopAuto) uses the
@@ -246,15 +254,50 @@ func (m *Machine) RunContext(ctx context.Context) (int32, error) {
 		fast = !m.hooksInstalled() && m.faults == nil
 	}
 	if fast {
+		m.engine = EngineFast
+	} else {
+		m.engine = EngineInstrumented
+	}
+	if m.Prof != nil && !m.profEntered {
+		m.profEntered = true
+		if m.pc >= 0 && m.pc < len(m.Prof.Arrive) {
+			m.Prof.Arrive[m.pc]++
+		}
+	}
+	var status int32
+	var err error
+	if fast {
 		if m.dec == nil {
 			m.dec = predecode(m.P)
 		}
-		if m.P.Kind == isa.Baseline {
-			return m.runFastBaseline(ctx)
+		// A profiled run dispatches to the profiled twin loop; the
+		// unprofiled loops carry no profiling code at all (see
+		// fastloop_prof.go for why the twins are separate functions).
+		switch {
+		case m.P.Kind == isa.Baseline && m.Prof != nil:
+			status, err = runFastBaselineProf(m, ctx, m.Prof)
+		case m.P.Kind == isa.Baseline:
+			status, err = m.runFastBaseline(ctx)
+		case m.Prof != nil:
+			status, err = runFastBRMProf(m, ctx, m.Prof)
+		default:
+			status, err = m.runFastBRM(ctx)
 		}
-		return m.runFastBRM(ctx)
+	} else {
+		status, err = m.runInstrumented(ctx)
 	}
-	return m.runInstrumented(ctx)
+	// Close the flow at the run's last instruction so Counts() conserves.
+	// Only a finished run (halt or trap) closes; a context cancellation
+	// may be resumed, so its exit stays open.
+	if m.Prof != nil {
+		var t *Trap
+		if m.halted || errors.As(err, &t) {
+			if m.pc >= 0 && m.pc < len(m.Prof.Depart) {
+				m.Prof.Depart[m.pc]++
+			}
+		}
+	}
+	return status, err
 }
 
 // runInstrumented is the original Step-at-a-time engine, required for

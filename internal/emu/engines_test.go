@@ -223,7 +223,7 @@ func TestEnginesDifferentialBRM(t *testing.T) {
 	g.Emit(isa.Instr{Op: isa.OpMovRB, Rd: 22, BSrc: isa.RABr}) // spill RA
 	g.Emit(isa.Instr{Op: isa.OpAdd, Rd: 4, Rs1: 4, Rs2: 4})
 	g.Emit(isa.Instr{Op: isa.OpMovBR, Rd: 6, Rs1: 22}) // restore RA into b6
-	g.Emit(isa.Instr{Op: isa.OpNop, BR: 6})             // return
+	g.Emit(isa.Instr{Op: isa.OpNop, BR: 6})            // return
 
 	p := &isa.Program{Kind: isa.BranchReg, Funcs: []*isa.Function{f, g},
 		Data: []*isa.DataItem{{Label: "table", Kind: isa.DataAddrs, Addrs: []string{"main.dispatched"}}}}

@@ -1,5 +1,24 @@
 package emu
 
+// The profiled twins of the fast loops (fastloop.go). Each is the same
+// predecoded dispatch loop with BlockProfile updates at transfers of
+// control — unconditional writes, no callbacks, merged into the shared
+// arrays only because prof is non-nil by construction (RunContext
+// dispatches here exactly when a profile is attached).
+//
+// The twins are deliberately separate functions rather than a generic
+// parameterization: an earlier generic version put a dictionary-indirect
+// call at every hook site of the shared gcshape body, costing ~20% BRM
+// throughput even for the no-op instantiation, and a runtime `prof !=
+// nil` test per transfer cost ~4% baseline / ~12% BRM. Keeping the
+// unprofiled loops byte-identical to their pre-profiler form is a gated
+// requirement (`make bench-gate`).
+//
+// Drift between a loop and its twin is caught by TestProfileEnginesAgree
+// and TestProfiledRunsMatchUnprofiled (internal/driver), which hold
+// profiled and unprofiled runs to identical outputs and Stats across the
+// full suite, and by the Stats-identity assertions on the profile itself.
+
 import (
 	"context"
 	"encoding/binary"
@@ -7,54 +26,8 @@ import (
 	"branchreg/internal/isa"
 )
 
-// This file is the hook-free fast execution engine. It runs the predecoded
-// micro-op form (see predecode.go) in a single dispatch loop per machine
-// kind, with the per-step costs of the instrumented path hoisted out:
-// no Step call boundary, no hook nil-checks, no fault-injection test, no
-// UseImm/ZeroReg branches (resolved at decode time), and branch targets
-// already in Text-index form.
-//
-// The fast loop is semantically identical to the instrumented loop — the
-// same Stats arithmetic, the same trap kinds, messages and ordering, the
-// same output bytes. TestEngines* and the native fuzz targets hold the two
-// engines to byte-identical results.
-//
-// These loops carry no profiling code; a run with a BlockProfile attached
-// dispatches to the profiled twins in fastloop_prof.go instead, keeping
-// this file's loops — the ones `make bench-gate` holds to the committed
-// throughput trajectory — free of even a per-transfer branch.
-
-// LoopMode selects which execution engine RunContext uses.
-type LoopMode int
-
-const (
-	// LoopAuto picks the fast loop when no hooks are installed and no
-	// fault plan is armed, and the instrumented loop otherwise.
-	LoopAuto LoopMode = iota
-	// LoopFast forces the predecoded fast loop. RunContext fails if hooks
-	// or a fault plan are present, since the fast loop cannot honor them.
-	LoopFast
-	// LoopInstrumented forces the instruction-at-a-time Step loop.
-	LoopInstrumented
-)
-
-// hooksInstalled reports whether any observation hook is set.
-func (m *Machine) hooksInstalled() bool {
-	h := &m.Hooks
-	return h.Fetch != nil || h.Prefetch != nil || h.Exec != nil || h.Transfer != nil
-}
-
-// fastTrap syncs the machine's program counter and instruction count, then
-// builds a trap at the current instruction — so diagnostics from the fast
-// loop carry exactly the context the instrumented loop would report.
-func (m *Machine) fastTrap(pc int, insts int64, kind TrapKind, format string, args ...interface{}) *Trap {
-	m.pc = pc
-	m.Stats.Instructions = insts
-	return m.trapHere(kind, format, args...)
-}
-
-// runFastBaseline executes the baseline machine over the predecoded form.
-func (m *Machine) runFastBaseline(ctx context.Context) (int32, error) {
+// runFastBaselineProf is the profiled twin of Machine.runFastBaseline.
+func runFastBaselineProf(m *Machine, ctx context.Context, prof *BlockProfile) (int32, error) {
 	ops := m.dec
 	st := &m.Stats
 	mem := m.Mem
@@ -338,6 +311,7 @@ func (m *Machine) runFastBaseline(ctx context.Context) (int32, error) {
 			m.ccF = true
 		case uJump:
 			st.UncondJumps++
+			prof.taken(pc)
 			pending = int(u.tgt)
 			pc++
 			seqAdv = false
@@ -345,18 +319,23 @@ func (m *Machine) runFastBaseline(ctx context.Context) (int32, error) {
 			st.CondBranches++
 			if isa.Cond(u.cond).HoldsInt(m.CC, 0) {
 				st.CondTaken++
+				prof.taken(pc)
 				pending = int(u.tgt)
+			} else {
+				prof.notTaken(pc)
 			}
 			pc++
 			seqAdv = false
 		case uCall:
 			st.Calls++
+			prof.taken(pc)
 			R[isa.RABase] = u.imm
 			pending = int(u.tgt)
 			pc++
 			seqAdv = false
 		case uJalr:
 			st.Calls++
+			prof.taken(pc)
 			target := R[u.rs1]
 			R[isa.RABase] = u.imm
 			pending = addrToIndex(target)
@@ -370,6 +349,7 @@ func (m *Machine) runFastBaseline(ctx context.Context) (int32, error) {
 				} else {
 					st.UncondJumps++
 				}
+				prof.taken(pc)
 			}
 			pc++
 			seqAdv = false
@@ -392,6 +372,7 @@ func (m *Machine) runFastBaseline(ctx context.Context) (int32, error) {
 					m.pending = pending
 					return 0, m.fastTrap(pc, insts, TrapPCOutOfRange, "jump out of text: index %d", t)
 				default:
+					prof.edge(pc, t)
 					pc = t
 				}
 			} else {
@@ -420,8 +401,8 @@ func (m *Machine) runFastBaseline(ctx context.Context) (int32, error) {
 	return m.status, nil
 }
 
-// runFastBRM executes the branch-register machine over the predecoded form.
-func (m *Machine) runFastBRM(ctx context.Context) (int32, error) {
+// runFastBRMProf is the profiled twin of Machine.runFastBRM.
+func runFastBRMProf(m *Machine, ctx context.Context, prof *BlockProfile) (int32, error) {
 	ops := m.dec
 	st := &m.Stats
 	mem := m.Mem
@@ -755,6 +736,7 @@ func (m *Machine) runFastBRM(ctx context.Context) (int32, error) {
 				ret := breg{addr: int64(isa.IndexToAddr(pc) + isa.WordSize), calcTime: now, isRA: true, valid: true}
 				if b.addr == seq {
 					// Untaken conditional: fall through.
+					prof.notTaken(pc)
 					m.B[isa.RABr] = ret
 					pc++
 				} else {
@@ -772,6 +754,8 @@ func (m *Machine) runFastBRM(ctx context.Context) (int32, error) {
 						} else {
 							st.PrefetchMiss++
 						}
+						prof.taken(pc)
+						prof.prefetch(pc, dist)
 					}
 					m.B[isa.RABr] = ret
 					switch {
@@ -781,6 +765,7 @@ func (m *Machine) runFastBRM(ctx context.Context) (int32, error) {
 					case idx < 0 || idx >= len(ops):
 						return 0, m.fastTrap(pc, insts, TrapPCOutOfRange, "jump out of text: index %d", idx)
 					default:
+						prof.edge(pc, idx)
 						pc = idx
 					}
 				}

@@ -39,6 +39,7 @@ func (m *Machine) stepBaseline(in *isa.Instr, addr int32) error {
 	case isa.OpB:
 		if in.Cond == isa.CondAlways {
 			m.Stats.UncondJumps++
+			m.profBranch(true)
 			m.pending = m.targetIndex(addr, in.Imm)
 			m.notifyTransfer(TransferUncond, true)
 		} else {
@@ -48,12 +49,14 @@ func (m *Machine) stepBaseline(in *isa.Instr, addr int32) error {
 				m.Stats.CondTaken++
 				m.pending = m.targetIndex(addr, in.Imm)
 			}
+			m.profBranch(taken)
 			m.notifyTransfer(TransferCond, taken)
 		}
 		m.pc++
 		return nil
 	case isa.OpCall:
 		m.Stats.Calls++
+		m.profBranch(true)
 		m.R[isa.RABase] = addr + 8 // skip the delay slot
 		m.pending = m.targetIndex(addr, in.Imm)
 		m.notifyTransfer(TransferUncond, true)
@@ -61,6 +64,7 @@ func (m *Machine) stepBaseline(in *isa.Instr, addr int32) error {
 		return nil
 	case isa.OpJalr:
 		m.Stats.Calls++
+		m.profBranch(true)
 		target := m.R[in.Rs1]
 		m.R[isa.RABase] = addr + 8
 		m.pending = m.addrIndex(target)
@@ -78,6 +82,7 @@ func (m *Machine) stepBaseline(in *isa.Instr, addr int32) error {
 			} else {
 				m.Stats.UncondJumps++
 			}
+			m.profBranch(true)
 			m.notifyTransfer(TransferUncond, true)
 		}
 		m.pc++
@@ -133,6 +138,10 @@ func (m *Machine) jumpTo(idx int) error {
 	}
 	if idx < 0 || idx >= len(m.P.Text) {
 		return m.trapHere(TrapPCOutOfRange, "jump out of text: index %d", idx)
+	}
+	if p := m.Prof; p != nil {
+		p.Depart[m.pc]++
+		p.Arrive[idx]++
 	}
 	m.pc = idx
 	return nil
@@ -243,6 +252,7 @@ func (m *Machine) brmAdvance(in *isa.Instr, addr int32, now int64) error {
 
 	if b.addr == seq {
 		// Untaken conditional: fall through.
+		m.profBranch(false)
 		m.B[isa.RABr] = ret
 		if m.Hooks.Transfer != nil {
 			m.Hooks.Transfer(TransferCond, false, now-b.calcTime)
@@ -264,6 +274,10 @@ func (m *Machine) brmAdvance(in *isa.Instr, addr int32, now int64) error {
 			m.Stats.PrefetchHit++
 		} else {
 			m.Stats.PrefetchMiss++
+		}
+		m.profBranch(true)
+		if p := m.Prof; p != nil && dist >= 0 && dist < MinPrefetchDist {
+			p.Penalty[m.pc] += MinPrefetchDist - dist
 		}
 		if m.Hooks.Transfer != nil {
 			kind := TransferUncond

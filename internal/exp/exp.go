@@ -17,6 +17,7 @@ import (
 	"branchreg/internal/driver"
 	"branchreg/internal/emu"
 	"branchreg/internal/isa"
+	"branchreg/internal/obs"
 	"branchreg/internal/pipeline"
 	"branchreg/internal/workloads"
 )
@@ -32,6 +33,16 @@ type ProgramResult struct {
 	BaselineErr *JobError
 	BRMErr      *JobError
 	OracleErr   *JobError
+
+	// BaselineEngine/BRMEngine name the emulator loop that executed each
+	// cell (emu.EngineFast or emu.EngineInstrumented) — LoopAuto's choice
+	// made explicit per run.
+	BaselineEngine string
+	BRMEngine      string
+	// BaselineBlocks/BRMBlocks are the per-cell hot-block tables
+	// (Spec.Profile only; top blocks by dynamic instructions).
+	BaselineBlocks []obs.HotBlock
+	BRMBlocks      []obs.HotBlock
 }
 
 // setCellError records a failed cell on the matching machine's slot.
@@ -56,6 +67,27 @@ type SuiteResult struct {
 	BaselineTotal emu.Stats
 	BRMTotal      emu.Stats
 	Failures      []*JobError
+}
+
+// HotBlockTables renders every profiled cell's hot-block table (the
+// `brbench -profile` output). Empty when the suite ran unprofiled.
+func (r *SuiteResult) HotBlockTables() string {
+	var b strings.Builder
+	for _, p := range r.Programs {
+		if p.BaselineBlocks != nil {
+			b.WriteString(obs.FormatHotBlocks(
+				fmt.Sprintf("Hot blocks: %s on baseline", p.Name),
+				p.BaselineBlocks, p.Baseline.Instructions))
+			b.WriteByte('\n')
+		}
+		if p.BRMBlocks != nil {
+			b.WriteString(obs.FormatHotBlocks(
+				fmt.Sprintf("Hot blocks: %s on BRM", p.Name),
+				p.BRMBlocks, p.BRM.Instructions))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
 }
 
 // RunSuite compiles and executes every workload on both machines,

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"branchreg/internal/emu"
+	"branchreg/internal/obs"
 )
 
 // Failure kinds beyond the emulator's trap taxonomy. A JobError.Kind is
@@ -89,5 +90,7 @@ func newJobError(phase, workload, machine string, compiled bool, err error) *Job
 	default:
 		je.Kind = FailCompile
 	}
+	// Keep-going failure counts by kind (trap taxonomy or Fail* constant).
+	obs.Default.Counter("exp.fail." + je.Kind).Inc()
 	return je
 }

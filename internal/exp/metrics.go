@@ -1,0 +1,15 @@
+package exp
+
+import "branchreg/internal/obs"
+
+// Pool-level metric handles (see internal/driver/metrics.go for the
+// naming convention). Failure counters are per-kind and created on
+// demand in newJobError; everything else is resolved once here.
+var (
+	mJobs       = obs.Default.Counter("exp.jobs")
+	mJobWaitNS  = obs.Default.Histogram("exp.job_wait_ns")
+	mJobRunNS   = obs.Default.Histogram("exp.job_run_ns")
+	mWorkerBusy = obs.Default.Counter("exp.worker_busy_ns")
+	mPoolWall   = obs.Default.Counter("exp.pool_wall_ns")
+	mPoolSize   = obs.Default.Gauge("exp.pool_workers")
+)

@@ -11,6 +11,7 @@ import (
 	"branchreg/internal/cache"
 	"branchreg/internal/driver"
 	"branchreg/internal/emu"
+	"branchreg/internal/obs"
 )
 
 // ReportSchemaVersion identifies the JSON layout emitted by Report. Bump
@@ -21,7 +22,15 @@ import (
 // phase (keep-going mode) with a typed kind (emulator trap taxonomy or
 // compile/panic/timeout/output-mismatch) and the emulator's full trap
 // context; ProgramReport gains baseline_error/brm_error/oracle_error.
-const ReportSchemaVersion = 2
+//
+// v3: observability — ProgramReport gains baseline_engine/brm_engine
+// (the emulator loop that actually executed each cell) and, under
+// -profile, baseline_hot_blocks/brm_hot_blocks (per-cell dynamic
+// basic-block tables); Report gains pool (emulator-memory pool traffic).
+// Like the v2 phases array, pool.reused is an environment observation
+// (garbage-collector timing), not part of the deterministic payload;
+// every other new field is byte-deterministic at any parallelism.
+const ReportSchemaVersion = 3
 
 // Float is a float64 that survives JSON: non-finite values (the ±Inf a
 // degenerate percentage cell reports, see pct) marshal as the strings
@@ -91,6 +100,9 @@ type AllSpec struct {
 	// (AllResults.Errors / the report's errors array) instead of
 	// aborting the run on the first failure.
 	KeepGoing bool
+	// Profile attaches block profiles to every suite run and surfaces
+	// per-program hot-block tables (see Spec.Profile).
+	Profile bool
 	// Faults maps "<workload>/<machine label>" to a deterministic fault
 	// plan injected into that suite cell (see Spec.Faults).
 	Faults map[string]*emu.FaultPlan
@@ -135,7 +147,11 @@ type AllResults struct {
 	Alignment    []AlignRow
 	AlignConfig  cache.Config
 	CompileCache driver.CacheStats
-	Phases       []PhaseTime
+	// Pool is the emulator-memory pool traffic of this run (the delta of
+	// the process-wide counters across RunAll). Gets/Puts are
+	// deterministic for a spec; Fresh depends on GC timing.
+	Pool   driver.PoolStats
+	Phases []PhaseTime
 	// Errors collects every failure the run degraded instead of
 	// aborting on (keep-going mode), in deterministic phase-then-suite
 	// order. Empty on a clean run.
@@ -160,12 +176,19 @@ func (r *Runner) RunAll(ctx context.Context, spec AllSpec) (*AllResults, error) 
 		spec.AlignConfig = cache.Config{LineWords: 8, Sets: 16, Assoc: 2, MissPenalty: 8}
 	}
 	out := &AllResults{Parallelism: r.workers(0)}
-	// phase runs one experiment phase. With KeepGoing a failed phase
-	// degrades to a typed JobError and the remaining phases still run;
-	// otherwise the first failure aborts as before.
-	phase := func(name string, f func() error) error {
+	poolStart := driver.PoolStatsNow()
+	// phase runs one experiment phase under its own trace span (jobs
+	// started inside parent their cell spans to it via the context). With
+	// KeepGoing a failed phase degrades to a typed JobError and the
+	// remaining phases still run; otherwise the first failure aborts as
+	// before.
+	outerCtx := ctx
+	phase := func(name string, f func(ctx context.Context) error) error {
+		span := r.Tracer.Begin(name, "phase", obs.SpanFromContext(outerCtx), 0)
+		defer span.End()
+		ctx := obs.ContextWithSpan(outerCtx, span.ID())
 		start := time.Now()
-		if err := f(); err != nil {
+		if err := f(ctx); err != nil {
 			if !spec.KeepGoing {
 				return err
 			}
@@ -177,9 +200,9 @@ func (r *Runner) RunAll(ctx context.Context, spec AllSpec) (*AllResults, error) 
 	}
 
 	if spec.Suite {
-		if err := phase("suite", func() error {
+		if err := phase("suite", func(ctx context.Context) error {
 			s, err := r.Run(ctx, Spec{Workloads: spec.Workloads, Options: spec.Options,
-				KeepGoing: spec.KeepGoing, Faults: spec.Faults})
+				KeepGoing: spec.KeepGoing, Faults: spec.Faults, Profile: spec.Profile})
 			if err != nil {
 				return err
 			}
@@ -194,7 +217,7 @@ func (r *Runner) RunAll(ctx context.Context, spec AllSpec) (*AllResults, error) 
 		}
 	}
 	if spec.CacheStudy {
-		if err := phase("cache study", func() error {
+		if err := phase("cache study", func(ctx context.Context) error {
 			res, err := r.CacheStudy(ctx, spec.Options, spec.CacheConfigs, spec.Workloads)
 			if err != nil {
 				return err
@@ -206,7 +229,7 @@ func (r *Runner) RunAll(ctx context.Context, spec AllSpec) (*AllResults, error) 
 		}
 	}
 	if spec.Ablations {
-		if err := phase("ablations", func() error {
+		if err := phase("ablations", func(ctx context.Context) error {
 			names := spec.Workloads
 			if names == nil {
 				names = Names()
@@ -224,7 +247,7 @@ func (r *Runner) RunAll(ctx context.Context, spec AllSpec) (*AllResults, error) 
 	if spec.Validate {
 		for _, stages := range spec.ValidateStages {
 			stages := stages
-			if err := phase(fmt.Sprintf("model validation (%d stages)", stages), func() error {
+			if err := phase(fmt.Sprintf("model validation (%d stages)", stages), func(ctx context.Context) error {
 				rows, err := r.ModelValidation(ctx, spec.Options, stages, spec.Workloads)
 				if err != nil {
 					return err
@@ -237,7 +260,7 @@ func (r *Runner) RunAll(ctx context.Context, spec AllSpec) (*AllResults, error) 
 		}
 	}
 	if spec.Align {
-		if err := phase("alignment study", func() error {
+		if err := phase("alignment study", func(ctx context.Context) error {
 			rows, err := r.AlignmentStudy(ctx, spec.AlignConfig, spec.Workloads)
 			if err != nil {
 				return err
@@ -249,6 +272,7 @@ func (r *Runner) RunAll(ctx context.Context, spec AllSpec) (*AllResults, error) 
 		}
 	}
 	out.CompileCache = r.cache().Stats()
+	out.Pool = driver.PoolStatsNow().Sub(poolStart)
 	return out, nil
 }
 
@@ -268,7 +292,11 @@ type Report struct {
 	Validation   []ValidationReport `json:"validation,omitempty"`
 	Alignment    *AlignmentReport   `json:"alignment,omitempty"`
 	CompileCache driver.CacheStats  `json:"compile_cache"`
-	Phases       []PhaseTime        `json:"phases,omitempty"`
+	// Pool is schema v3's emulator-memory pool traffic. gets/puts are
+	// deterministic; fresh (and so the reuse rate) tracks GC timing, like
+	// the phases array's wall-clock millis.
+	Pool   driver.PoolStats `json:"pool"`
+	Phases []PhaseTime      `json:"phases,omitempty"`
 	// Errors is schema v2's per-job failure list: one object per failed
 	// cell or phase, with a typed kind and (for emulator faults) the
 	// full trap context. Non-empty exactly when the run degraded
@@ -302,6 +330,16 @@ type ProgramReport struct {
 	BaselineError  *JobError `json:"baseline_error,omitempty"`
 	BRMError       *JobError `json:"brm_error,omitempty"`
 	OracleError    *JobError `json:"oracle_error,omitempty"`
+	// Engine fields (schema v3) record which emulator loop actually ran
+	// each cell — "fast" or "instrumented" — so a silent fallback from the
+	// predecoded loop is visible in the committed trajectory.
+	BaselineEngine string `json:"baseline_engine,omitempty"`
+	BRMEngine      string `json:"brm_engine,omitempty"`
+	// Hot-block tables (schema v3, -profile runs only): the program's
+	// hottest dynamic basic blocks with paper-style branch-cost
+	// attribution.
+	BaselineHotBlocks []obs.HotBlock `json:"baseline_hot_blocks,omitempty"`
+	BRMHotBlocks      []obs.HotBlock `json:"brm_hot_blocks,omitempty"`
 }
 
 // CycleReport is one §7 cycle-estimate row.
@@ -357,6 +395,7 @@ func (a *AllResults) Report() *Report {
 		Parallelism:  a.Parallelism,
 		Workloads:    a.Workloads,
 		CompileCache: a.CompileCache,
+		Pool:         a.Pool,
 		Phases:       a.Phases,
 		Errors:       a.Errors,
 	}
@@ -371,14 +410,18 @@ func (a *AllResults) Report() *Report {
 		}
 		for _, p := range s.Programs {
 			sr.Programs = append(sr.Programs, ProgramReport{
-				Name:           p.Name,
-				Baseline:       p.Baseline,
-				BRM:            p.BRM,
-				InstDiffPct:    Float(pct(p.BRM.Instructions, p.Baseline.Instructions)),
-				DataRefDiffPct: Float(pct(p.BRM.DataRefs(), p.Baseline.DataRefs())),
-				BaselineError:  p.BaselineErr,
-				BRMError:       p.BRMErr,
-				OracleError:    p.OracleErr,
+				Name:              p.Name,
+				Baseline:          p.Baseline,
+				BRM:               p.BRM,
+				InstDiffPct:       Float(pct(p.BRM.Instructions, p.Baseline.Instructions)),
+				DataRefDiffPct:    Float(pct(p.BRM.DataRefs(), p.Baseline.DataRefs())),
+				BaselineError:     p.BaselineErr,
+				BRMError:          p.BRMErr,
+				OracleError:       p.OracleErr,
+				BaselineEngine:    p.BaselineEngine,
+				BRMEngine:         p.BRMEngine,
+				BaselineHotBlocks: p.BaselineBlocks,
+				BRMHotBlocks:      p.BRMBlocks,
 			})
 		}
 		for _, row := range s.Cycles([]int{3, 4, 5}) {

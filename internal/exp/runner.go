@@ -13,6 +13,7 @@ import (
 	"branchreg/internal/driver"
 	"branchreg/internal/emu"
 	"branchreg/internal/isa"
+	"branchreg/internal/obs"
 	"branchreg/internal/pipeline"
 	"branchreg/internal/workloads"
 )
@@ -39,6 +40,10 @@ type Spec struct {
 	// Faults maps "<workload>/<machine label>" (e.g. "wc/BRM") to a
 	// deterministic fault plan armed on that cell's emulator.
 	Faults map[string]*emu.FaultPlan
+	// Profile attaches a block profile to every suite run and aggregates
+	// the result into per-program hot-block tables (ProgramResult.*Blocks).
+	// Profiled runs stay on the fast engine; see emu.BlockProfile.
+	Profile bool
 }
 
 // FaultKey builds a Spec.Faults key from a workload name and machine.
@@ -64,6 +69,9 @@ type Runner struct {
 	// Progress, when set, observes job completions: phase names the
 	// experiment, done/total count jobs. Called from worker goroutines.
 	Progress func(phase string, done, total int)
+	// Tracer, when set, records spans for every phase, suite cell,
+	// compile, run and oracle check (nil = no tracing; see obs.Tracer).
+	Tracer *obs.Tracer
 
 	cacheOnce sync.Once
 }
@@ -125,17 +133,36 @@ func (r *Runner) runJobs(parent context.Context, phase string, n, total int, job
 		firstIdx int
 		done     int
 	)
-	jobs := make(chan int)
+	// enq carries the time the producer offered the job, so the receiving
+	// worker can observe how long the job waited for a free worker.
+	type queued struct {
+		i   int
+		enq time.Time
+	}
+	poolStart := time.Now()
+	mPoolSize.Set(int64(n))
+	jobs := make(chan queued)
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			for i := range jobs {
+			// Worker index rides the context so trace spans opened inside
+			// jobs land on per-worker timeline rows (1-based; 0 = no pool).
+			wctx := obs.ContextWithWorker(ctx, worker+1)
+			for q := range jobs {
 				if ctx.Err() != nil {
 					return
 				}
-				if err := r.safeJob(ctx, i, job); err != nil {
+				i := q.i
+				mJobs.Inc()
+				mJobWaitNS.Observe(time.Since(q.enq).Nanoseconds())
+				jobStart := time.Now()
+				err := r.safeJob(wctx, i, job)
+				busy := time.Since(jobStart).Nanoseconds()
+				mJobRunNS.Observe(busy)
+				mWorkerBusy.Add(busy)
+				if err != nil {
 					if !errors.Is(err, context.Canceled) {
 						mu.Lock()
 						if firstErr == nil || i < firstIdx {
@@ -154,17 +181,20 @@ func (r *Runner) runJobs(parent context.Context, phase string, n, total int, job
 					r.Progress(phase, d, total)
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < total; i++ {
 		select {
-		case jobs <- i:
+		case jobs <- queued{i: i, enq: time.Now()}:
 		case <-ctx.Done():
 			i = total
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	// Occupancy denominator: pool wall clock × workers. Worker-busy over
+	// this is the pool's utilization.
+	mPoolWall.Add(time.Since(poolStart).Nanoseconds() * int64(n))
 	if firstErr != nil {
 		return firstErr
 	}
@@ -205,10 +235,12 @@ func machineLabel(kind isa.Kind) string {
 }
 
 // suiteCell is one (workload, machine) outcome: a result or a
-// structured failure (keep-going mode only).
+// structured failure (keep-going mode only), plus the hot-block
+// aggregation when the spec asked for profiling.
 type suiteCell struct {
-	res *driver.Result
-	err *JobError
+	res    *driver.Result
+	blocks []obs.HotBlock
+	err    *JobError
 }
 
 // Run executes the suite described by spec: every (workload, machine)
@@ -231,37 +263,59 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 	}
 
 	// work runs one cell, reporting whether it got past compilation so
-	// failures classify as compile vs run.
-	work := func(ctx context.Context, i int) (res *driver.Result, compiled bool, err error) {
+	// failures classify as compile vs run. Cell/compile/run spans parent
+	// under the enclosing phase span and land on the worker's trace row.
+	work := func(ctx context.Context, i int) (res *driver.Result, blocks []obs.HotBlock, compiled bool, err error) {
 		w := sel[i/len(machines)]
 		kind := machines[i%len(machines)]
+		tid := obs.WorkerFromContext(ctx)
+		cell := r.Tracer.Begin("cell:"+FaultKey(w.Name, kind), "suite", obs.SpanFromContext(ctx), tid)
+		defer cell.End()
+
+		cs := r.Tracer.Begin("compile", "driver", cell.ID(), tid)
 		p, err := r.cache().Compile(ctx, w.FullSource(), kind, spec.Options)
+		cs.End()
 		if err != nil {
-			return nil, false, err
+			return nil, nil, false, err
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, true, err
+			return nil, nil, true, err
 		}
+		var prof *emu.BlockProfile
+		if spec.Profile {
+			prof = emu.NewBlockProfile(len(p.Text))
+		}
+		rs := r.Tracer.Begin("run", "emu", cell.ID(), tid)
 		res, err = driver.RunProgramWith(ctx, p, w.Input, driver.RunConfig{
 			Faults:     spec.Faults[FaultKey(w.Name, kind)],
 			OutputHint: w.OutputHint,
+			Profile:    prof,
 		})
-		return res, true, err
+		if res != nil {
+			rs.SetArg("engine", res.Engine)
+			cell.SetArg("engine", res.Engine)
+		}
+		rs.End()
+		if err == nil && prof != nil {
+			blocks = obs.HotBlocks(p, prof, hotBlockTop)
+		}
+		return res, blocks, true, err
 	}
 
 	cells := make([]suiteCell, len(sel)*len(machines))
 	job := func(ctx context.Context, i int) error {
-		res, _, err := work(ctx, i)
+		res, blocks, _, err := work(ctx, i)
 		if err != nil {
 			w := sel[i/len(machines)]
 			return fmt.Errorf("exp: %s on %s: %w", w.Name, machineLabel(machines[i%len(machines)]), err)
 		}
 		cells[i].res = res
+		cells[i].blocks = blocks
 		return nil
 	}
 	if spec.KeepGoing {
 		job = func(ctx context.Context, i int) error {
-			res, compiled, err := func() (res *driver.Result, compiled bool, err error) {
+			res, blocks, compiled, err := func() (res *driver.Result, blocks []obs.HotBlock, compiled bool, err error) {
 				// Recover locally so a panicking cell degrades like any
 				// other failure instead of cancelling the pool.
 				defer func() {
@@ -274,6 +328,7 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 			switch {
 			case err == nil:
 				cells[i].res = res
+				cells[i].blocks = blocks
 			case errors.Is(err, context.Canceled):
 				return err // external cancellation, not a cell failure
 			default:
@@ -289,6 +344,8 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 	}
 
 	// Deterministic merge: suite order, verifying machine agreement.
+	oracle := r.Tracer.Begin("oracle", "exp", obs.SpanFromContext(ctx), 0)
+	defer oracle.End()
 	out := &SuiteResult{}
 	for wi, w := range sel {
 		pr := ProgramResult{Name: w.Name}
@@ -320,9 +377,13 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 			switch kind {
 			case isa.Baseline:
 				pr.Baseline = res.Stats
+				pr.BaselineEngine = res.Engine
+				pr.BaselineBlocks = cell.blocks
 				out.BaselineTotal.Add(&res.Stats)
 			default:
 				pr.BRM = res.Stats
+				pr.BRMEngine = res.Engine
+				pr.BRMBlocks = cell.blocks
 				out.BRMTotal.Add(&res.Stats)
 			}
 		}
@@ -330,6 +391,11 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 	}
 	return out, nil
 }
+
+// hotBlockTop bounds the per-cell hot-block aggregation: enough to show
+// where a workload spends its time, small enough to keep reports
+// readable (sieve has under ten live blocks; tinycc has hundreds).
+const hotBlockTop = 10
 
 // CacheStudy is the parallel form of RunCacheStudy: every
 // (configuration, prefetch, workload) triple is one pool job, merged per

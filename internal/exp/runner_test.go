@@ -43,6 +43,35 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestProfiledSuiteDeterministic extends the guarantee to -profile: the
+// engine fields and hot-block tables are derived from deterministic runs,
+// so a profiled SuiteResult must be identical at any parallelism too.
+func TestProfiledSuiteDeterministic(t *testing.T) {
+	o := driver.DefaultOptions()
+	run := func(par int) *SuiteResult {
+		r := Runner{Parallelism: par}
+		got, err := r.Run(context.Background(),
+			Spec{Workloads: fastSubset, Options: o, Profile: true})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return got
+	}
+	serial := run(1)
+	for _, p := range serial.Programs {
+		if p.BaselineEngine != "fast" || p.BRMEngine != "fast" {
+			t.Errorf("%s: engines %q/%q, want fast/fast", p.Name, p.BaselineEngine, p.BRMEngine)
+		}
+		if len(p.BaselineBlocks) == 0 || len(p.BRMBlocks) == 0 {
+			t.Errorf("%s: missing hot blocks (%d baseline, %d BRM)",
+				p.Name, len(p.BaselineBlocks), len(p.BRMBlocks))
+		}
+	}
+	if got := run(4); !reflect.DeepEqual(serial, got) {
+		t.Error("profiled SuiteResult differs between 1 and 4 workers")
+	}
+}
+
 func TestRunnerCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -1,0 +1,106 @@
+package obs_test
+
+// External test package: exercising HotBlocks on real compiled workloads
+// needs driver, which imports obs.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"branchreg/internal/driver"
+	"branchreg/internal/emu"
+	"branchreg/internal/isa"
+	"branchreg/internal/obs"
+	"branchreg/internal/workloads"
+)
+
+func profiledRun(t *testing.T, name string, kind isa.Kind) (*isa.Program, *emu.BlockProfile, *driver.Result) {
+	t.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("no workload %s", name)
+	}
+	p, err := driver.Compile(context.Background(), w.FullSource(), kind, driver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := emu.NewBlockProfile(len(p.Text))
+	res, err := driver.RunProgramWith(context.Background(), p, w.Input, driver.RunConfig{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, prof, res
+}
+
+func TestHotBlocksSieve(t *testing.T) {
+	for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+		p, prof, res := profiledRun(t, "sieve", kind)
+		blocks := obs.HotBlocks(p, prof, 0)
+		if len(blocks) == 0 {
+			t.Fatal("no blocks")
+		}
+
+		var dyn, taken, notTaken, cost int64
+		for i, b := range blocks {
+			if b.Count <= 0 || b.Len <= 0 {
+				t.Fatalf("block %d empty: %+v", i, b)
+			}
+			if b.DynInsts != b.Count*int64(b.Len) {
+				t.Fatalf("block %d dyn insts inconsistent: %+v", i, b)
+			}
+			if i > 0 && blocks[i-1].DynInsts < b.DynInsts {
+				t.Fatalf("blocks not sorted: %d before %d", blocks[i-1].DynInsts, b.DynInsts)
+			}
+			dyn += b.DynInsts
+			taken += b.Taken
+			notTaken += b.NotTaken
+			cost += b.CostCycles
+		}
+		st := res.Stats
+		if dyn != st.Instructions {
+			t.Fatalf("%v: block insts %d != run insts %d", kind, dyn, st.Instructions)
+		}
+		// Cost attribution sums to the §7 model's branch-cost component.
+		if kind == isa.Baseline {
+			transfers := st.UncondJumps + st.CondBranches + st.Calls + st.Returns
+			if cost != transfers {
+				t.Fatalf("baseline cost %d != transfers×1 = %d", cost, transfers)
+			}
+		} else {
+			var want int64
+			for d := 0; d < emu.MinPrefetchDist; d++ {
+				want += int64(emu.MinPrefetchDist-d) * st.DistHist[d]
+			}
+			if cost != want {
+				t.Fatalf("BRM cost %d != prefetch penalty %d", cost, want)
+			}
+		}
+
+		// The paper's loop-dominance claim: sieve's inner loop concentrates
+		// execution, so the hottest block alone carries a large share.
+		if blocks[0].PctInsts < 20 {
+			t.Fatalf("%v: hottest block only %.1f%% of insts", kind, blocks[0].PctInsts)
+		}
+
+		top := obs.HotBlocks(p, prof, 3)
+		if len(top) != 3 {
+			t.Fatalf("top-3 returned %d", len(top))
+		}
+		out := obs.FormatHotBlocks("sieve", top, st.Instructions)
+		if !strings.Contains(out, "sieve") || !strings.Contains(out, "dyn insts") {
+			t.Fatalf("format output wrong:\n%s", out)
+		}
+	}
+}
+
+func TestHotBlocksNilSafe(t *testing.T) {
+	if obs.HotBlocks(nil, nil, 5) != nil {
+		t.Fatal("nil inputs must yield nil")
+	}
+	p, prof, _ := profiledRun(t, "wc", isa.Baseline)
+	if obs.HotBlocks(p, emu.NewBlockProfile(len(p.Text)+1), 5) != nil {
+		t.Fatal("size mismatch must yield nil")
+	}
+	_ = prof
+}

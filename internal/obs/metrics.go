@@ -1,0 +1,239 @@
+// Package obs is the run-wide observability layer: a lock-cheap metrics
+// registry (counters, gauges, log2-bucketed histograms), an explicit
+// start/end span tracer exportable as Chrome trace_event JSON, and the
+// hot-block profile aggregation that turns the emulator's per-instruction
+// flow counts into the paper-style dynamic branch-cost attribution tables.
+//
+// The package sits below driver and exp (both record into it) and above
+// emu/isa (whose data it aggregates); emu itself never imports obs, so
+// the fast execution loop stays free of observability calls — it
+// accumulates plain count arrays (emu.BlockProfile) that are folded into
+// obs structures after the run. obs also must not import pipeline:
+// pipeline's simulation tests sit above obs via driver, and the pair
+// would form a test-only import cycle.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready;
+// all methods are safe for concurrent use and cost one atomic add.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed log2 bucket count: bucket i holds observations
+// v with bits.Len64(v) == i, so bucket 0 is exactly 0, bucket i covers
+// [2^(i-1), 2^i), and every int64 has a bucket without any configuration.
+const histBuckets = 65
+
+// Histogram accumulates a distribution in fixed log2 buckets. Observing
+// costs two atomic adds plus one bucket add; there is no locking and no
+// allocation.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records v. Negative observations clamp to zero (durations and
+// sizes, the intended inputs, are never negative).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// HistBucket is one non-empty log2 bucket: Bit is the bits.Len64 index
+// (values in [2^(Bit-1), 2^Bit); Bit 0 is exactly zero).
+type HistBucket struct {
+	Bit   int   `json:"bit"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			out.Buckets = append(out.Buckets, HistBucket{Bit: i, Count: n})
+		}
+	}
+	return out
+}
+
+// Registry is a name → metric store. Get-or-create takes a mutex, so
+// callers hold the returned pointer (typically in a package-level var)
+// and pay only the atomic op on the hot path. The zero value is ready.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Default is the process-wide registry: driver's pool/cache/run counters
+// and exp's pool occupancy land here, and `brbench -metrics` prints it.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = map[string]*Histogram{}
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry. Values observed concurrently with the
+// snapshot may or may not be included (each metric is read atomically).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// Format renders the snapshot as a sorted human-readable table (the
+// `brbench -metrics` output).
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(&b, "counters:\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-32s %15d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(&b, "gauges:\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-32s %15d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(&b, "histograms:\n")
+		names := make([]string, 0, len(s.Histograms))
+		for name := range s.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "  %-32s count=%-10d sum=%-15d mean=%.1f\n",
+				name, h.Count, h.Sum, h.Mean())
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Set(3)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// bits.Len64 buckets: 0 → bucket 0, 1 → 1, [2,3] → 2, [4,7] → 3 ...
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, -5} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if s.Sum != 25 { // negative clamped to 0
+		t.Fatalf("sum = %d, want 25", s.Sum)
+	}
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 3: 2, 4: 1}
+	for _, b := range s.Buckets {
+		if want[b.Bit] != b.Count {
+			t.Fatalf("bucket %d = %d, want %d", b.Bit, b.Count, want[b.Bit])
+		}
+		delete(want, b.Bit)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing buckets: %v", want)
+	}
+	if m := s.Mean(); m != 25.0/8 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Histogram("h").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["n"] != 8000 {
+		t.Fatalf("counter = %d, want 8000", s.Counters["n"])
+	}
+	if s.Histograms["h"].Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", s.Histograms["h"].Count)
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(2)
+	r.Counter("a.first").Inc()
+	r.Gauge("workers").Set(4)
+	r.Histogram("lat").Observe(100)
+	out := r.Snapshot().Format()
+	if !strings.Contains(out, "a.first") || !strings.Contains(out, "z.last") ||
+		!strings.Contains(out, "workers") || !strings.Contains(out, "lat") {
+		t.Fatalf("format missing entries:\n%s", out)
+	}
+	if strings.Index(out, "a.first") > strings.Index(out, "z.last") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+	if _, err := json.Marshal(r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The span tracer: explicit Begin/End spans with parent IDs, covering
+// suite → workload → compile/run/oracle in the experiment engine.
+// Exportable two ways: the tracer's own JSON schema (Spans/JSON) and the
+// Chrome trace_event format (ChromeTrace), which Perfetto and
+// chrome://tracing load directly.
+//
+// Every method is nil-receiver safe — a nil *Tracer hands out nil *Spans
+// whose methods no-op — so instrumented code paths need no "is tracing
+// on" conditionals.
+
+// SpanID identifies a span within one Tracer; 0 means "no parent".
+type SpanID int64
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Cat    string `json:"cat,omitempty"`
+	TID    int    `json:"tid"`
+	// StartMicros/DurMicros are microseconds since the tracer was created.
+	StartMicros float64           `json:"start_us"`
+	DurMicros   float64           `json:"dur_us"`
+	Args        map[string]string `json:"args,omitempty"`
+}
+
+// Tracer collects spans. Safe for concurrent use from worker goroutines.
+type Tracer struct {
+	mu    sync.Mutex
+	start time.Time
+	next  SpanID
+	spans []SpanRecord
+}
+
+// NewTracer returns a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// Span is an in-flight span; call End to record it.
+type Span struct {
+	t      *Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	cat    string
+	tid    int
+	begin  time.Time
+
+	mu   sync.Mutex
+	args map[string]string
+}
+
+// Begin starts a span. parent is the enclosing span's ID (0 for a root);
+// tid groups spans onto one timeline row in trace viewers (the worker
+// index, so concurrent jobs render as parallel tracks). A nil tracer
+// returns a nil span, whose methods no-op.
+func (t *Tracer) Begin(name, cat string, parent SpanID, tid int) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.next++
+	id := t.next
+	t.mu.Unlock()
+	return &Span{t: t, id: id, parent: parent, name: name, cat: cat, tid: tid, begin: time.Now()}
+}
+
+// ID returns the span's ID (0 for a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetArg attaches a key/value annotation (e.g. the engine a run used).
+func (s *Span) SetArg(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.args == nil {
+		s.args = map[string]string{}
+	}
+	s.args[k] = v
+	s.mu.Unlock()
+}
+
+// End records the span. Calling End twice records the span twice; don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	args := s.args
+	s.mu.Unlock()
+	rec := SpanRecord{
+		ID:          s.id,
+		Parent:      s.parent,
+		Name:        s.name,
+		Cat:         s.cat,
+		TID:         s.tid,
+		StartMicros: float64(s.begin.Sub(s.t.start).Nanoseconds()) / 1e3,
+		DurMicros:   float64(end.Sub(s.begin).Nanoseconds()) / 1e3,
+		Args:        args,
+	}
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, rec)
+	s.t.mu.Unlock()
+}
+
+// Spans returns the finished spans sorted by start time then ID.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartMicros != out[j].StartMicros {
+			return out[i].StartMicros < out[j].StartMicros
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// JSON renders the spans in the tracer's own schema:
+// {"spans": [SpanRecord...]}.
+func (t *Tracer) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Spans []SpanRecord `json:"spans"`
+	}{t.Spans()}, "", "  ")
+}
+
+// chromeEvent is one trace_event entry ("X" = complete event with
+// duration, "M" = metadata).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace renders the spans in Chrome trace_event JSON ("X" complete
+// events, timestamps in microseconds), loadable in Perfetto or
+// chrome://tracing. Parent/child nesting is conveyed by timestamp
+// containment within a tid row, per the format's convention.
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]string{"name": "brbench"},
+	}}
+	for _, s := range t.Spans() {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   s.StartMicros,
+			Dur:  s.DurMicros,
+			PID:  1,
+			TID:  s.TID,
+			Args: s.Args,
+		})
+	}
+	return json.MarshalIndent(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events}, "", "  ")
+}
+
+// ---- context plumbing ----
+//
+// The experiment engine passes the enclosing span and the worker index
+// down through the context, so pool jobs parent their spans correctly
+// without threading tracer state through every signature.
+
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	workerKey
+)
+
+// ContextWithSpan returns ctx carrying id as the current span.
+func ContextWithSpan(ctx context.Context, id SpanID) context.Context {
+	return context.WithValue(ctx, spanKey, id)
+}
+
+// SpanFromContext returns the current span ID, or 0.
+func SpanFromContext(ctx context.Context) SpanID {
+	id, _ := ctx.Value(spanKey).(SpanID)
+	return id
+}
+
+// ContextWithWorker returns ctx carrying the worker index (used as the
+// trace tid, so concurrent jobs land on separate viewer rows).
+func ContextWithWorker(ctx context.Context, tid int) context.Context {
+	return context.WithValue(ctx, workerKey, tid)
+}
+
+// WorkerFromContext returns the worker index, or 0.
+func WorkerFromContext(ctx context.Context) int {
+	tid, _ := ctx.Value(workerKey).(int)
+	return tid
+}

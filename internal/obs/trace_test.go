@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Begin("suite", "exp", 0, 0)
+	root.SetArg("machines", "2")
+	child := tr.Begin("run:sieve", "run", root.ID(), 3)
+	child.SetArg("engine", "fast")
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Sorted by start time: root began first.
+	if spans[0].Name != "suite" || spans[1].Name != "run:sieve" {
+		t.Fatalf("order wrong: %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Fatalf("child parent = %d, want %d", spans[1].Parent, spans[0].ID)
+	}
+	if spans[1].TID != 3 || spans[1].Args["engine"] != "fast" {
+		t.Fatalf("child fields wrong: %+v", spans[1])
+	}
+	if spans[0].DurMicros < spans[1].DurMicros {
+		t.Fatalf("root (%v us) shorter than child (%v us)", spans[0].DurMicros, spans[1].DurMicros)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Begin("x", "", 0, 0)
+	s.SetArg("k", "v")
+	s.End()
+	if s.ID() != 0 {
+		t.Fatal("nil span must have ID 0")
+	}
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer must have no spans")
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Begin("compile", "driver", 0, 1)
+	s.End()
+	raw, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("not valid trace_event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 { // process_name metadata + the span
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Ph != "M" {
+		t.Fatalf("first event ph = %q, want metadata", doc.TraceEvents[0].Ph)
+	}
+	ev := doc.TraceEvents[1]
+	if ev.Ph != "X" || ev.Name != "compile" || ev.PID != 1 || ev.TID != 1 {
+		t.Fatalf("span event wrong: %+v", ev)
+	}
+
+	if _, err := tr.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if SpanFromContext(ctx) != 0 || WorkerFromContext(ctx) != 0 {
+		t.Fatal("empty context must yield zero values")
+	}
+	ctx = ContextWithSpan(ctx, 42)
+	ctx = ContextWithWorker(ctx, 7)
+	if SpanFromContext(ctx) != 42 {
+		t.Fatalf("span = %d", SpanFromContext(ctx))
+	}
+	if WorkerFromContext(ctx) != 7 {
+		t.Fatalf("worker = %d", WorkerFromContext(ctx))
+	}
+}

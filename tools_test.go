@@ -121,8 +121,8 @@ func TestBrbenchJSONAndFilter(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("brbench -json wrote invalid JSON: %v\n%.400s", err, raw)
 	}
-	if rep.Schema != 2 {
-		t.Errorf("schema = %d", rep.Schema)
+	if rep.Schema != 3 {
+		t.Errorf("schema = %d, want 3", rep.Schema)
 	}
 	if len(rep.Suite.Programs) != 2 {
 		t.Errorf("programs in JSON = %d, want the 2 filtered workloads", len(rep.Suite.Programs))
@@ -184,8 +184,8 @@ func TestBrbenchKeepGoing(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v\n%.400s", err, raw)
 	}
-	if rep.Schema != 2 {
-		t.Errorf("schema = %d, want 2", rep.Schema)
+	if rep.Schema != 3 {
+		t.Errorf("schema = %d, want 3", rep.Schema)
 	}
 	if len(rep.Errors) != 1 {
 		t.Fatalf("errors = %d, want exactly the injected cell:\n%s", len(rep.Errors), raw)
@@ -200,6 +200,92 @@ func TestBrbenchKeepGoing(t *testing.T) {
 		if (p.Name == "wc") != marked {
 			t.Errorf("program %s: brm_error present=%v", p.Name, marked)
 		}
+	}
+}
+
+// TestBrbenchTraceAndProfile drives the observability flags end to end:
+// -trace must write a valid Chrome trace_event JSON whose spans cover
+// the phase/cell/compile/run hierarchy, and -profile must print
+// per-program hot-block tables and embed hot_blocks in the v3 report.
+func TestBrbenchTraceAndProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool test")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	jsonPath := filepath.Join(dir, "bench.json")
+	out := runTool(t, "./cmd/brbench",
+		"-table1", "-profile", "-workloads", "sieve",
+		"-trace", tracePath, "-json", jsonPath)
+	if !strings.Contains(out, "Hot blocks: sieve on baseline") ||
+		!strings.Contains(out, "Hot blocks: sieve on BRM") {
+		t.Errorf("-profile output missing hot-block tables:\n%.900s", out)
+	}
+	if !strings.Contains(out, "dyn insts") {
+		t.Errorf("hot-block table header missing:\n%.900s", out)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("-trace wrote invalid JSON: %v\n%.400s", err, raw)
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"suite", "cell:sieve/baseline", "cell:sieve/BRM", "compile", "run", "oracle"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+
+	raw, err = os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Suite struct {
+			Programs []struct {
+				Name           string `json:"name"`
+				BaselineEngine string `json:"baseline_engine"`
+				BRMEngine      string `json:"brm_engine"`
+				BaselineBlocks []struct {
+					Fn       string `json:"fn"`
+					DynInsts int64  `json:"dyn_insts"`
+				} `json:"baseline_hot_blocks"`
+				BRMBlocks []json.RawMessage `json:"brm_hot_blocks"`
+			} `json:"programs"`
+		} `json:"suite"`
+		Pool struct {
+			Gets int64 `json:"gets"`
+			Puts int64 `json:"puts"`
+		} `json:"pool"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%.400s", err, raw)
+	}
+	if len(rep.Suite.Programs) != 1 {
+		t.Fatalf("programs = %d, want 1", len(rep.Suite.Programs))
+	}
+	p := rep.Suite.Programs[0]
+	if p.BaselineEngine != "fast" || p.BRMEngine != "fast" {
+		t.Errorf("engines = %q/%q, want fast/fast", p.BaselineEngine, p.BRMEngine)
+	}
+	if len(p.BaselineBlocks) == 0 || len(p.BRMBlocks) == 0 {
+		t.Errorf("hot_blocks missing: baseline %d, brm %d", len(p.BaselineBlocks), len(p.BRMBlocks))
+	}
+	if rep.Pool.Gets == 0 || rep.Pool.Puts == 0 {
+		t.Errorf("pool counters empty: %+v", rep.Pool)
 	}
 }
 
