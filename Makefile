@@ -1,18 +1,21 @@
 # Build and verification entry points. `make check` is the PR gate:
-# vet plus the full test suite under the race detector, which drives the
-# experiment engine's worker pool (suite equality, cancellation, compile
-# cache singleflight) with race checking enabled, plus a short
-# coverage-guided fuzz smoke over the differential fuzzer and the fault
-# injector (trap or clean exit, never a panic), plus the benchmark gate
-# (emulator throughput must stay within BENCH_REGRESS percent of the last
-# committed BENCH_emulator.json entry — the profiling hooks in the fast
-# loops are budgeted, not assumed, cheap).
+# vet, a generated-code drift check (the emulator's fast loops come from
+# one template), plus the full test suite under the race detector — which
+# drives the experiment engine's worker pool (suite equality across all
+# engine tiers at parallelism 4, cancellation, compile cache
+# singleflight) and the four-tier engine differential with race checking
+# enabled — plus a short coverage-guided fuzz smoke over the differential
+# fuzzers (including fused-vs-fast) and the fault injector (trap or clean
+# exit, never a panic), plus the benchmark gate (emulator throughput must
+# stay within BENCH_REGRESS percent of the last committed
+# BENCH_emulator.json entry — the profiling hooks in the fast loops are
+# budgeted, not assumed, cheap).
 
 GO ?= go
 FUZZTIME ?= 10s
 BENCH_REGRESS ?= 3.0
 
-.PHONY: all build test vet race fuzz-smoke check bench bench-all bench-gate
+.PHONY: all build test vet race fuzz-smoke generate generate-check check bench bench-all bench-gate
 
 all: build
 
@@ -32,9 +35,20 @@ race:
 # its own short run.
 fuzz-smoke:
 	$(GO) test ./internal/driver -run='^$$' -fuzz=FuzzDifferentialPrograms -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/driver -run='^$$' -fuzz=FuzzFusedDifferential -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/driver -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=$(FUZZTIME)
 
-check: vet race fuzz-smoke bench-gate
+# The emulator's three specialized loops (fast+profiled, fused, fused+
+# profiled) are generated from one template; regenerate after editing
+# internal/emu/gen/main.go.
+generate:
+	$(GO) generate ./internal/emu
+
+# Fail if any generated file drifted from its template (the CI rule).
+generate-check:
+	$(GO) run ./internal/emu/gen -dir internal/emu -check
+
+check: vet generate-check race fuzz-smoke bench-gate
 
 # Run the throughput benchmarks at a fixed -benchtime and append an entry
 # to BENCH_emulator.json, the committed benchmark-trajectory artifact.

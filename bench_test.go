@@ -211,7 +211,7 @@ func BenchmarkCompile(b *testing.B) {
 // BenchmarkEmulator measures raw emulation speed (instructions per second)
 // on a compute-bound workload. This is the throughput figure tracked in
 // BENCH_emulator.json (see `make bench`); under default LoopAuto selection
-// it exercises the predecoded fast loop.
+// it exercises the block-fused loop.
 func BenchmarkEmulator(b *testing.B) {
 	o := driver.DefaultOptions()
 	w, _ := workloads.ByName("sieve")

@@ -77,10 +77,14 @@ func main() {
 			"exit non-zero on a throughput regression beyond -max-regress")
 	maxRegress := flag.Float64("max-regress", 3.0,
 		"maximum tolerated emulated-insts/s drop in percent (-gate)")
+	allowDirty := flag.Bool("allow-dirty", false,
+		"let -gate compare against a *-dirty entry (one recorded from an\n"+
+			"uncommitted tree); refused by default because such an entry does\n"+
+			"not correspond to any commit")
 	flag.Parse()
 
 	if *gate {
-		if err := runGate(*out, *benchtime, *maxRegress); err != nil {
+		if err := runGate(*out, *benchtime, *maxRegress, *allowDirty); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
 			os.Exit(1)
 		}
@@ -164,11 +168,21 @@ func measure(benchtime, label string) (*Entry, error) {
 // entry. A suspected regression is measured a second time and the best
 // throughput per kind kept — a single noisy run should not fail `make
 // check` — but a reproducible drop beyond maxRegress percent does.
-func runGate(path, benchtime string, maxRegress float64) error {
+// A *-dirty last entry (recorded from an uncommitted tree) is refused
+// unless allowDirty: it does not correspond to any commit, so gating
+// against it would anchor the budget to an unreproducible measurement.
+func runGate(path, benchtime string, maxRegress float64, allowDirty bool) error {
 	last, err := lastEntry(path)
 	if err != nil {
 		return err
 	}
+	if strings.HasSuffix(last.Commit, "-dirty") && !allowDirty {
+		return fmt.Errorf("refusing to gate against dirty entry %s (%s, %s) in %s: "+
+			"re-record it from a clean tree, or pass -allow-dirty to accept it",
+			last.Commit, last.Date, last.Benchtime, path)
+	}
+	fmt.Fprintf(os.Stderr, "benchrecord: gate: comparing against %s entry %s (%s)\n",
+		path, last.Commit, last.Date)
 	fresh, err := measure(benchtime, "")
 	if err != nil {
 		return err

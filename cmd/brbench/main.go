@@ -31,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -72,7 +74,17 @@ func main() {
 		"profile suite runs: print per-program hot-block tables and add\n"+
 			"hot_blocks to the JSON report")
 	metrics := flag.Bool("metrics", false, "print the process metrics registry after the run")
+	engine := flag.String("engine", "auto",
+		"emulator engine for suite runs: auto|fused|fast|instrumented\n"+
+			"(auto picks the block-fused loop whenever hooks and faults permit)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile after the run to this path")
 	flag.Parse()
+
+	loop, err := parseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *all {
 		*table1, *cycles, *ratios = true, true, true
@@ -98,6 +110,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if faults != nil && (loop == emu.LoopFused || loop == emu.LoopFast) {
+		fatal(fmt.Errorf("-inject requires -engine auto or instrumented: the fast-path engines reject fault plans"))
+	}
 
 	spec := exp.AllSpec{
 		Suite:      *table1 || *cycles || *ratios || *fig9,
@@ -109,7 +124,42 @@ func main() {
 		KeepGoing:  *keepGoing,
 		Profile:    *profile,
 		Faults:     faults,
+		Loop:       loop,
 	}
+
+	// stopProfiles flushes -cpuprofile/-memprofile output; called both on
+	// the normal return path (deferred) and before the keep-going
+	// non-zero exit, which bypasses defers via os.Exit.
+	stopProfiles := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memprofile != "" {
+		prev := stopProfiles
+		stopProfiles = func() {
+			prev()
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	defer stopProfiles()
 
 	var tracer *obs.Tracer
 	if *tracePath != "" {
@@ -238,8 +288,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "brbench:", e)
 		}
 		fmt.Fprintf(os.Stderr, "brbench: %d cell(s) failed\n", len(res.Errors))
+		stopProfiles()
 		os.Exit(1)
 	}
+}
+
+// parseEngine maps the -engine flag to an emulator loop mode.
+func parseEngine(s string) (emu.LoopMode, error) {
+	switch s {
+	case "auto":
+		return emu.LoopAuto, nil
+	case "fused":
+		return emu.LoopFused, nil
+	case "fast":
+		return emu.LoopFast, nil
+	case "instrumented":
+		return emu.LoopInstrumented, nil
+	}
+	return 0, fmt.Errorf("bad -engine %q: want auto, fused, fast or instrumented", s)
 }
 
 // parseInjects parses the -inject flag: a comma-separated list of

@@ -1,0 +1,137 @@
+// Command fusepairs measures superinstruction fusion opportunity over the
+// workload suite: it runs every workload on both machines with a
+// BlockProfile attached, reconstructs per-instruction execution counts by
+// flow conservation, and prints the dynamically hottest adjacent micro-op
+// pairs (straight-line body pairs and op+terminator pairs separately),
+// plus the block-length and terminator-class distribution the fused
+// engine will see. The fusion selection in internal/emu/gen/main.go
+// (pairSel/tripleSel, expanded into internal/emu/fusedtab.go) was chosen
+// from this tool's output; DESIGN §10 records the methodology and the
+// numbers.
+//
+// Usage:
+//
+//	fusepairs [-kind baseline|branchreg|both] [-top 20] [-workloads csv]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"branchreg/internal/driver"
+	"branchreg/internal/emu"
+	"branchreg/internal/isa"
+	"branchreg/internal/workloads"
+)
+
+func main() {
+	kindFlag := flag.String("kind", "both", "machine kind: baseline, branchreg or both")
+	top := flag.Int("top", 20, "rows per table")
+	names := flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	flag.Parse()
+
+	var kinds []isa.Kind
+	switch *kindFlag {
+	case "baseline":
+		kinds = []isa.Kind{isa.Baseline}
+	case "branchreg":
+		kinds = []isa.Kind{isa.BranchReg}
+	case "both":
+		kinds = []isa.Kind{isa.Baseline, isa.BranchReg}
+	default:
+		fmt.Fprintf(os.Stderr, "fusepairs: unknown -kind %q\n", *kindFlag)
+		os.Exit(2)
+	}
+
+	suite := workloads.All()
+	if *names != "" {
+		var subset []workloads.Workload
+		for _, n := range strings.Split(*names, ",") {
+			w, ok := workloads.ByName(strings.TrimSpace(n))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fusepairs: unknown workload %q\n", n)
+				os.Exit(2)
+			}
+			subset = append(subset, w)
+		}
+		suite = subset
+	}
+
+	o := driver.DefaultOptions()
+	for _, kind := range kinds {
+		agg := &emu.FuseReport{
+			Pairs:     map[[2]string]int64{},
+			TermPairs: map[[2]string]int64{},
+			Triples:   map[[3]string]int64{},
+			Terms:     map[string]int64{},
+		}
+		for _, w := range suite {
+			p, err := driver.Compile(context.Background(), w.FullSource(), kind, o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fusepairs: compile %s/%v: %v\n", w.Name, kind, err)
+				os.Exit(1)
+			}
+			prof := emu.NewBlockProfile(len(p.Text))
+			if _, err := driver.RunProgramWith(context.Background(), p, w.Input,
+				driver.RunConfig{Profile: prof, OutputHint: w.OutputHint}); err != nil {
+				fmt.Fprintf(os.Stderr, "fusepairs: run %s/%v: %v\n", w.Name, kind, err)
+				os.Exit(1)
+			}
+			agg.Merge(emu.PairStats(p, prof))
+		}
+
+		fmt.Printf("== %v: %d workloads, %d block entries, %d insts in blocks (avg len %.2f) ==\n",
+			kind, len(suite), agg.Blocks, agg.Insts, avg(agg.Insts, agg.Blocks))
+		fmt.Printf("\nterminator classes (dynamic):\n")
+		for _, t := range emu.RankedPairs(wrap(agg.Terms)) {
+			fmt.Printf("  %-12s %14d  %5.1f%%\n", t.First, t.Count, pct(t.Count, agg.Blocks))
+		}
+		fmt.Printf("\nhot body pairs (dynamic adjacencies):\n")
+		printPairs(emu.RankedPairs(agg.Pairs), *top, agg.Insts)
+		fmt.Printf("\nhot body triples:\n")
+		for i, t := range emu.RankedTriples(agg.Triples) {
+			if i >= *top {
+				break
+			}
+			fmt.Printf("  %-8s %-8s %-8s %14d  %5.2f%%\n",
+				t.Ops[0], t.Ops[1], t.Ops[2], t.Count, pct(t.Count, agg.Insts))
+		}
+		fmt.Printf("\nhot op+terminator pairs:\n")
+		printPairs(emu.RankedPairs(agg.TermPairs), *top, agg.Insts)
+		fmt.Println()
+	}
+}
+
+func printPairs(ps []emu.PairStat, top int, total int64) {
+	for i, p := range ps {
+		if i >= top {
+			break
+		}
+		fmt.Printf("  %-8s %-8s %14d  %5.2f%%\n", p.First, p.Second, p.Count, pct(p.Count, total))
+	}
+}
+
+func wrap(m map[string]int64) map[[2]string]int64 {
+	out := make(map[[2]string]int64, len(m))
+	for k, v := range m {
+		out[[2]string{k, ""}] = v
+	}
+	return out
+}
+
+func avg(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

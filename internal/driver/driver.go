@@ -127,10 +127,14 @@ type Result struct {
 	Status int32
 	Stats  emu.Stats
 	// Engine names the emulator loop that actually executed the run
-	// (emu.EngineFast or emu.EngineInstrumented) — recorded explicitly
-	// because LoopAuto's fallback to the instrumented loop is otherwise
+	// (emu.EngineFused, emu.EngineFast, or emu.EngineInstrumented) —
+	// recorded explicitly because LoopAuto's engine selection is otherwise
 	// invisible to callers.
 	Engine string
+	// Fusion describes the block-fused engine's dynamic behavior (blocks
+	// entered, superinstructions retired, hand-offs to the fast loop).
+	// Zero unless Engine is emu.EngineFused.
+	Fusion emu.FusionStats
 }
 
 // Run compiles and executes src on the given machine with the given stdin.

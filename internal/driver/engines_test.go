@@ -15,35 +15,68 @@ import (
 )
 
 // Driver-level golden differential: the full workload suite and a sweep of
-// generated programs must produce identical Results from the predecoded
-// fast loop and the instrumented loop, and the pooled-memory runner must
-// stay correct under concurrency (run with -race via `make check`).
+// generated programs must produce identical Results from every engine tier
+// — the instrumented Step loop, the predecoded fast loop, and the
+// block-fused loop with and without a profile attached — and the
+// pooled-memory runner must stay correct under concurrency (run with
+// -race via `make check`).
 
-// runBothEngines executes p under both engines and fails on divergence,
-// returning the (shared) result.
-func runBothEngines(t *testing.T, p *isa.Program, input string) *Result {
+// engineTiers is the driver-level tier table; the instrumented loop is
+// the reference the others must reproduce byte for byte.
+var engineTiers = []struct {
+	name   string
+	loop   emu.LoopMode
+	prof   bool
+	engine string
+}{
+	{"step", emu.LoopInstrumented, false, emu.EngineInstrumented},
+	{"fast", emu.LoopFast, false, emu.EngineFast},
+	{"fused", emu.LoopFused, false, emu.EngineFused},
+	{"fused-prof", emu.LoopFused, true, emu.EngineFused},
+}
+
+// runAllEngines executes p under every engine tier and fails on any
+// divergence, returning the (shared) result (nil if the program traps).
+func runAllEngines(t *testing.T, p *isa.Program, input string) *Result {
 	t.Helper()
-	fast, ferr := RunProgramWith(context.Background(), p, input, RunConfig{Loop: emu.LoopFast})
-	inst, ierr := RunProgramWith(context.Background(), p, input, RunConfig{Loop: emu.LoopInstrumented})
-	if (ferr == nil) != (ierr == nil) {
-		t.Fatalf("error divergence: fast=%v instrumented=%v", ferr, ierr)
-	}
-	if ferr != nil {
-		var ft, it *emu.Trap
-		if errors.As(ferr, &ft) != errors.As(ierr, &it) || (ft != nil && !reflect.DeepEqual(*ft, *it)) {
-			t.Fatalf("trap divergence: fast=%v instrumented=%v", ferr, ierr)
+	cfg := func(tier int) RunConfig {
+		c := RunConfig{Loop: engineTiers[tier].loop}
+		if engineTiers[tier].prof {
+			c.Profile = emu.NewBlockProfile(len(p.Text))
 		}
+		return c
+	}
+	inst, ierr := RunProgramWith(context.Background(), p, input, cfg(0))
+	for i := 1; i < len(engineTiers); i++ {
+		tier := engineTiers[i]
+		res, err := RunProgramWith(context.Background(), p, input, cfg(i))
+		if (err == nil) != (ierr == nil) {
+			t.Fatalf("error divergence: %s=%v instrumented=%v", tier.name, err, ierr)
+		}
+		if err != nil {
+			var ft, it *emu.Trap
+			if errors.As(err, &ft) != errors.As(ierr, &it) || (ft != nil && !reflect.DeepEqual(*ft, *it)) {
+				t.Fatalf("trap divergence: %s=%v instrumented=%v", tier.name, err, ierr)
+			}
+			continue
+		}
+		if res.Engine != tier.engine || inst.Engine != emu.EngineInstrumented {
+			t.Fatalf("engine recording wrong: %s=%q inst=%q", tier.name, res.Engine, inst.Engine)
+		}
+		if tier.engine == emu.EngineFused && res.Fusion.Blocks == 0 {
+			t.Fatalf("%s: fused run recorded no blocks", tier.name)
+		}
+		instEq := *inst
+		instEq.Engine = res.Engine // only the engine name
+		instEq.Fusion = res.Fusion // and the tier-descriptive counters may differ
+		if *res != instEq {
+			t.Fatalf("result divergence:\n %s: %+v\n step: %+v", tier.name, res, inst)
+		}
+	}
+	if ierr != nil {
 		return nil
 	}
-	if fast.Engine != emu.EngineFast || inst.Engine != emu.EngineInstrumented {
-		t.Fatalf("engine recording wrong: fast=%q inst=%q", fast.Engine, inst.Engine)
-	}
-	instEq := *inst
-	instEq.Engine = fast.Engine // only the engine name may differ
-	if *fast != instEq {
-		t.Fatalf("result divergence:\n fast: %+v\n inst: %+v", fast, inst)
-	}
-	return fast
+	return inst
 }
 
 func TestEnginesWorkloadDifferential(t *testing.T) {
@@ -60,7 +93,7 @@ func TestEnginesWorkloadDifferential(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				runBothEngines(t, p, w.Input)
+				runAllEngines(t, p, w.Input)
 			})
 		}
 	}
@@ -78,7 +111,7 @@ func TestEnginesGeneratedProgramDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d %v: %v\nprogram:\n%s", seed, kind, err, src)
 			}
-			if runBothEngines(t, p, "") == nil {
+			if runAllEngines(t, p, "") == nil {
 				t.Fatalf("seed %d %v: generated program trapped\nprogram:\n%s", seed, kind, src)
 			}
 		}

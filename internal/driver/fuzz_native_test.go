@@ -65,6 +65,90 @@ func FuzzDifferentialPrograms(f *testing.F) {
 	})
 }
 
+// FuzzFusedDifferential is the block-fused engine's coverage-guided
+// differential: one generated program per input, run on both machines
+// under the fast and fused loops with a fuzzed instruction budget, so the
+// budget cutoff lands at arbitrary points — including mid-block, where
+// the fused engine must delegate to per-instruction accounting to keep
+// the trap's Executed count exact. Asserts identical results, identical
+// trap kind/PC/budget fields, and that an armed fault plan is rejected by
+// LoopFused but degrades LoopAuto to the instrumented engine with
+// unchanged results.
+func FuzzFusedDifferential(f *testing.F) {
+	f.Add(int64(1), int64(0))
+	f.Add(int64(20260806), int64(1000))
+	f.Add(int64(7), int64(17))
+	f.Fuzz(func(t *testing.T, seed, budget int64) {
+		gen := &progGen{r: rand.New(rand.NewSource(seed))}
+		src := gen.generate()
+		o := DefaultOptions()
+		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+			p, err := Compile(context.Background(), src, kind, o)
+			if err != nil {
+				t.Fatalf("%v: %v\nprogram:\n%s", kind, err, src)
+			}
+			run := func(mode emu.LoopMode) (*emu.Machine, error) {
+				m, err := emu.New(p, "")
+				if err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				m.Loop = mode
+				if budget > 0 {
+					m.MaxInstructions = budget % (1 << 20)
+				}
+				_, runErr := m.Run()
+				return m, runErr
+			}
+			fm, ferr := run(emu.LoopFast)
+			um, uerr := run(emu.LoopFused)
+			if (ferr == nil) != (uerr == nil) {
+				t.Fatalf("%v error divergence: fast=%v fused=%v\nprogram:\n%s", kind, ferr, uerr, src)
+			}
+			if ferr != nil {
+				var ft, ut *emu.Trap
+				fok, uok := errors.As(ferr, &ft), errors.As(uerr, &ut)
+				if fok != uok {
+					t.Fatalf("%v trap-ness divergence: fast=%v fused=%v", kind, ferr, uerr)
+				}
+				if fok && *ft != *ut {
+					t.Fatalf("%v trap divergence:\n fast: %+v\n fused: %+v\nprogram:\n%s",
+						kind, *ft, *ut, src)
+				}
+			}
+			if fm.Output() != um.Output() || fm.Status() != um.Status() || fm.Stats != um.Stats {
+				t.Fatalf("%v fused divergence: output %q vs %q, status %d vs %d\nprogram:\n%s",
+					kind, fm.Output(), um.Output(), fm.Status(), um.Status(), src)
+			}
+
+			// A fault plan must never reach the fused engine: forcing it is
+			// an error, and LoopAuto degrades to the instrumented loop.
+			plan := &emu.FaultPlan{Seed: seed, Ops: []emu.FaultOp{
+				{Kind: emu.FaultCorruptBReg, N: 1 + budget%64, BReg: int(seed & 7)},
+			}}
+			m, err := emu.New(p, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Loop = emu.LoopFused
+			m.SetFaultPlan(plan)
+			if _, err := m.Run(); err == nil {
+				t.Fatalf("%v: LoopFused accepted a fault plan", kind)
+			} else if trap := new(emu.Trap); errors.As(err, &trap) {
+				t.Fatalf("%v: fault-plan rejection should not be a trap: %v", kind, err)
+			}
+			auto, err := RunProgramContext(context.Background(), p, "", plan)
+			if err != nil {
+				var trap *emu.Trap
+				if !errors.As(err, &trap) {
+					t.Fatalf("%v: non-trap error under faults: %v", kind, err)
+				}
+			} else if auto.Engine != emu.EngineInstrumented {
+				t.Fatalf("%v: engine %q under faults, want %q", kind, auto.Engine, emu.EngineInstrumented)
+			}
+		}
+	})
+}
+
 // faultTestPrograms compiles one small branchy program per machine, once,
 // for FuzzFaultPlan to perturb.
 var faultTestPrograms = sync.OnceValues(func() ([]*isa.Program, error) {

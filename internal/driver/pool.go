@@ -76,6 +76,11 @@ func RunProgramWith(ctx context.Context, p *isa.Program, input string, cfg RunCo
 	mRuns.Inc()
 	mRunNS.Observe(time.Since(start).Nanoseconds())
 	switch m.Engine() {
+	case emu.EngineFused:
+		mEngineFused.Inc()
+		mFusedBlocks.Add(m.Fusion.Blocks)
+		mFusedSupers.Add(m.Fusion.Fused)
+		mFusedBails.Add(m.Fusion.Bails)
 	case emu.EngineFast:
 		mEngineFast.Inc()
 	case emu.EngineInstrumented:
@@ -90,5 +95,5 @@ func RunProgramWith(ctx context.Context, p *isa.Program, input string, cfg RunCo
 		}
 		return nil, err
 	}
-	return &Result{Output: m.Output(), Status: status, Stats: m.Stats, Engine: m.Engine()}, nil
+	return &Result{Output: m.Output(), Status: status, Stats: m.Stats, Engine: m.Engine(), Fusion: m.Fusion}, nil
 }

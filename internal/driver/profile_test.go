@@ -43,8 +43,8 @@ func TestProfiledRunsMatchUnprofiled(t *testing.T) {
 				if *plain != *profiled {
 					t.Fatalf("profiling changed the run:\n plain:    %+v\n profiled: %+v", plain, profiled)
 				}
-				if profiled.Engine != emu.EngineFast {
-					t.Fatalf("profiled run left the fast path: engine %q", profiled.Engine)
+				if profiled.Engine != emu.EngineFused {
+					t.Fatalf("profiled run left the fused fast path: engine %q", profiled.Engine)
 				}
 				var sum, taken, notTaken, penalty int64
 				for _, c := range prof.Counts() {
@@ -136,8 +136,8 @@ func TestEngineRecordedOnAutoFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if auto.Engine != emu.EngineFast {
-		t.Fatalf("plain auto run: engine %q, want %q", auto.Engine, emu.EngineFast)
+	if auto.Engine != emu.EngineFused {
+		t.Fatalf("plain auto run: engine %q, want %q", auto.Engine, emu.EngineFused)
 	}
 
 	m, err := emu.New(p, w.Input)

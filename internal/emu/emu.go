@@ -102,14 +102,18 @@ type Hooks struct {
 
 // seq is the branch-register sentinel meaning "fall through" (the untaken
 // path of a compare-with-assignment).
-const seq = int64(-1)
+const seq = int32(-1)
 
+// breg is one branch register. Kept to 16 bytes (addr is an int32 byte
+// address — the machine's whole address space is int32) so the B file
+// fits two cache lines; the b[7] return-address store on every BRM
+// transfer is the hottest write in the fused engine.
 type breg struct {
-	addr     int64 // target byte address or seq
-	calcTime int64 // Stats.Instructions value when the prefetch was issued
+	addr     int32 // target byte address or seq
 	viaCmp   bool  // written by a compare (the referencing transfer is conditional)
 	isRA     bool  // holds a return address (the b[7] side effect or a restore)
 	valid    bool  // some instruction assigned this register
+	calcTime int64 // Stats.Instructions value when the prefetch was issued
 }
 
 // Machine is an emulator instance.
@@ -139,8 +143,15 @@ type Machine struct {
 
 	faults *faultState // deterministic fault-injection state (nil = none)
 
-	dec     []uop  // predecoded form, built lazily by RunContext
-	scratch []byte // putf formatting buffer
+	dec     []uop   // predecoded form, built lazily by RunContext
+	fp      *fprog  // block-fused form, built lazily by RunContext
+	scratch []byte  // putf formatting buffer
+
+	// Fusion counts the fused engine's dynamic behavior (blocks entered,
+	// superinstruction pairs retired, hand-offs to the fast loop). It is
+	// deliberately not part of Stats: Stats must stay identical across
+	// engine tiers, while Fusion exists to describe the tier itself.
+	Fusion FusionStats
 
 	// Prof, when set, accumulates flow counts at transfers of control
 	// (see BlockProfile). Profiling is fast-path compatible: it never
@@ -244,18 +255,27 @@ const ctxCheckStride = 1 << 16
 // instruction-at-a-time Step loop runs otherwise.
 func (m *Machine) RunContext(ctx context.Context) (int32, error) {
 	fast := false
+	fused := false
 	switch m.Loop {
 	case LoopFast:
 		if m.hooksInstalled() || m.faults != nil {
 			return 0, fmt.Errorf("emu: LoopFast cannot honor hooks or fault plans")
 		}
 		fast = true
+	case LoopFused:
+		if m.hooksInstalled() || m.faults != nil {
+			return 0, fmt.Errorf("emu: LoopFused cannot honor hooks or fault plans")
+		}
+		fused = true
 	case LoopAuto:
-		fast = !m.hooksInstalled() && m.faults == nil
+		fused = !m.hooksInstalled() && m.faults == nil
 	}
-	if fast {
+	switch {
+	case fused:
+		m.engine = EngineFused
+	case fast:
 		m.engine = EngineFast
-	} else {
+	default:
 		m.engine = EngineInstrumented
 	}
 	if m.Prof != nil && !m.profEntered {
@@ -266,17 +286,29 @@ func (m *Machine) RunContext(ctx context.Context) (int32, error) {
 	}
 	var status int32
 	var err error
-	if fast {
+	if fast || fused {
 		if m.dec == nil {
 			m.dec = predecode(m.P)
+		}
+		if fused && m.fp == nil {
+			m.fp = buildFprog(m.P, m.dec, true)
 		}
 		// A profiled run dispatches to the profiled twin loop; the
 		// unprofiled loops carry no profiling code at all (see
 		// fastloop_prof.go for why the twins are separate functions).
+		baseline := m.P.Kind == isa.Baseline
 		switch {
-		case m.P.Kind == isa.Baseline && m.Prof != nil:
+		case fused && baseline && m.Prof != nil:
+			status, err = runFusedBaselineProf(m, ctx, m.Prof)
+		case fused && baseline:
+			status, err = runFusedBaseline(m, ctx)
+		case fused && m.Prof != nil:
+			status, err = runFusedBRMProf(m, ctx, m.Prof)
+		case fused:
+			status, err = runFusedBRM(m, ctx)
+		case baseline && m.Prof != nil:
 			status, err = runFastBaselineProf(m, ctx, m.Prof)
-		case m.P.Kind == isa.Baseline:
+		case baseline:
 			status, err = m.runFastBaseline(ctx)
 		case m.Prof != nil:
 			status, err = runFastBRMProf(m, ctx, m.Prof)

@@ -11,21 +11,38 @@ import (
 	"branchreg/internal/isa"
 )
 
-// The golden differential contract of the predecoded engine: for every
-// program, input, and instruction budget, the fast loop and the
-// instrumented loop must agree on all observable machine state — Stats,
-// output bytes, exit status, trap values, registers, memory, and the
-// final pc/pending.
+// The golden differential contract of the predecoded engines: for every
+// program, input, and instruction budget, the fast loop, the block-fused
+// loop (profiled or not) and the instrumented loop must agree on all
+// observable machine state — Stats, output bytes, exit status, trap
+// values, registers, memory, and the final pc/pending.
+
+// engineTiers is the table every differential test sweeps: the
+// instrumented Step loop is the reference; each other tier must reproduce
+// it exactly.
+var engineTiers = []struct {
+	name     string
+	mode     LoopMode
+	profiled bool
+}{
+	{"step", LoopInstrumented, false},
+	{"fast", LoopFast, false},
+	{"fused", LoopFused, false},
+	{"fused-prof", LoopFused, true},
+}
 
 // runEngine executes p under the given loop mode and returns the machine
 // and run error.
-func runEngine(t *testing.T, p *isa.Program, input string, mode LoopMode, budget int64) (*Machine, error) {
+func runEngine(t *testing.T, p *isa.Program, input string, mode LoopMode, profiled bool, budget int64) (*Machine, error) {
 	t.Helper()
 	m, err := New(p, input)
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.Loop = mode
+	if profiled {
+		m.Prof = NewBlockProfile(len(p.Text))
+	}
 	if budget > 0 {
 		m.MaxInstructions = budget
 	}
@@ -33,63 +50,72 @@ func runEngine(t *testing.T, p *isa.Program, input string, mode LoopMode, budget
 	return m, runErr
 }
 
-// diffEngines runs p both ways and fails the test on any divergence.
+// diffEngines runs p under every engine tier and fails the test on any
+// divergence from the instrumented reference.
 func diffEngines(t *testing.T, p *isa.Program, input string, budget int64) {
 	t.Helper()
-	fm, ferr := runEngine(t, p, input, LoopFast, budget)
-	im, ierr := runEngine(t, p, input, LoopInstrumented, budget)
+	im, ierr := runEngine(t, p, input, LoopInstrumented, false, budget)
+	for _, tier := range engineTiers[1:] {
+		fm, ferr := runEngine(t, p, input, tier.mode, tier.profiled, budget)
+		diffMachines(t, tier.name, fm, ferr, im, ierr)
+	}
+}
 
+// diffMachines compares one engine tier's final machine state against the
+// instrumented reference.
+func diffMachines(t *testing.T, name string, fm *Machine, ferr error, im *Machine, ierr error) {
+	t.Helper()
 	if (ferr == nil) != (ierr == nil) {
-		t.Fatalf("error divergence: fast=%v instrumented=%v", ferr, ierr)
+		t.Fatalf("error divergence: %s=%v instrumented=%v", name, ferr, ierr)
 	}
 	if ferr != nil {
 		var ft, it *Trap
 		fok, iok := errors.As(ferr, &ft), errors.As(ierr, &it)
 		if fok != iok {
-			t.Fatalf("trap-ness divergence: fast=%v instrumented=%v", ferr, ierr)
+			t.Fatalf("trap-ness divergence: %s=%v instrumented=%v", name, ferr, ierr)
 		}
 		if fok {
 			if !reflect.DeepEqual(*ft, *it) {
-				t.Errorf("trap divergence:\n fast: %+v\n inst: %+v", *ft, *it)
+				t.Errorf("trap divergence:\n %s: %+v\n inst: %+v", name, *ft, *it)
 			}
 		} else if ferr.Error() != ierr.Error() {
-			t.Errorf("error divergence: fast=%v instrumented=%v", ferr, ierr)
+			t.Errorf("error divergence: %s=%v instrumented=%v", name, ferr, ierr)
 		}
 	}
 	if !reflect.DeepEqual(fm.Stats, im.Stats) {
-		t.Errorf("stats divergence:\n fast: %+v\n inst: %+v", fm.Stats, im.Stats)
+		t.Errorf("stats divergence:\n %s: %+v\n inst: %+v", name, fm.Stats, im.Stats)
 	}
 	if fm.Output() != im.Output() {
-		t.Errorf("output divergence: fast=%q inst=%q", fm.Output(), im.Output())
+		t.Errorf("output divergence: %s=%q inst=%q", name, fm.Output(), im.Output())
 	}
 	if fm.Status() != im.Status() {
-		t.Errorf("status divergence: fast=%d inst=%d", fm.Status(), im.Status())
+		t.Errorf("status divergence: %s=%d inst=%d", name, fm.Status(), im.Status())
 	}
 	if fm.halted != im.halted {
-		t.Errorf("halted divergence: fast=%v inst=%v", fm.halted, im.halted)
+		t.Errorf("halted divergence: %s=%v inst=%v", name, fm.halted, im.halted)
 	}
 	if fm.pc != im.pc {
-		t.Errorf("pc divergence: fast=%d inst=%d", fm.pc, im.pc)
+		t.Errorf("pc divergence: %s=%d inst=%d", name, fm.pc, im.pc)
 	}
 	if fm.pending != im.pending {
-		t.Errorf("pending divergence: fast=%d inst=%d", fm.pending, im.pending)
+		t.Errorf("pending divergence: %s=%d inst=%d", name, fm.pending, im.pending)
 	}
 	if fm.CC != im.CC || fm.ccF != im.ccF {
-		t.Errorf("cc divergence: fast=(%d,%v) inst=(%d,%v)", fm.CC, fm.ccF, im.CC, im.ccF)
+		t.Errorf("cc divergence: %s=(%d,%v) inst=(%d,%v)", name, fm.CC, fm.ccF, im.CC, im.ccF)
 	}
 	if fm.R != im.R {
-		t.Errorf("register divergence:\n fast: %v\n inst: %v", fm.R, im.R)
+		t.Errorf("register divergence:\n %s: %v\n inst: %v", name, fm.R, im.R)
 	}
 	for i := range fm.F {
 		if math.Float64bits(fm.F[i]) != math.Float64bits(im.F[i]) {
-			t.Errorf("f%d divergence: fast=%v inst=%v", i, fm.F[i], im.F[i])
+			t.Errorf("f%d divergence: %s=%v inst=%v", i, name, fm.F[i], im.F[i])
 		}
 	}
 	if fm.B != im.B {
-		t.Errorf("branch-register divergence:\n fast: %v\n inst: %v", fm.B, im.B)
+		t.Errorf("branch-register divergence:\n %s: %v\n inst: %v", name, fm.B, im.B)
 	}
 	if !bytes.Equal(fm.Mem, im.Mem) {
-		t.Errorf("memory divergence")
+		t.Errorf("memory divergence (%s)", name)
 	}
 }
 

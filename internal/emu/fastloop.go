@@ -28,14 +28,19 @@ import (
 type LoopMode int
 
 const (
-	// LoopAuto picks the fast loop when no hooks are installed and no
-	// fault plan is armed, and the instrumented loop otherwise.
+	// LoopAuto picks the block-fused engine when no hooks are installed
+	// and no fault plan is armed, and the instrumented loop otherwise.
 	LoopAuto LoopMode = iota
 	// LoopFast forces the predecoded fast loop. RunContext fails if hooks
 	// or a fault plan are present, since the fast loop cannot honor them.
 	LoopFast
 	// LoopInstrumented forces the instruction-at-a-time Step loop.
 	LoopInstrumented
+	// LoopFused forces the block-fused engine (fusedloop.go): basic blocks
+	// chained by pre-linked successor indices, adjacent micro-op pairs
+	// rewritten into superinstructions, and the step budget checked once
+	// per block. Like LoopFast it cannot honor hooks or fault plans.
+	LoopFused
 )
 
 // hooksInstalled reports whether any observation hook is set.
@@ -674,10 +679,10 @@ func (m *Machine) runFastBRM(ctx context.Context) (int32, error) {
 
 		case uBrCalcAbs:
 			st.BrCalcs++
-			m.B[u.rd] = breg{addr: int64(u.imm), calcTime: now, valid: true}
+			m.B[u.rd] = breg{addr: u.imm, calcTime: now, valid: true}
 		case uBrCalcReg:
 			st.BrCalcs++
-			m.B[u.rd] = breg{addr: int64(R[u.rs1] + u.imm), calcTime: now, valid: true}
+			m.B[u.rd] = breg{addr: R[u.rs1] + u.imm, calcTime: now, valid: true}
 		case uBrLd:
 			st.BrCalcs++
 			st.Loads++
@@ -689,7 +694,7 @@ func (m *Machine) runFastBRM(ctx context.Context) (int32, error) {
 				return 0, m.fastTrap(pc, insts, TrapMisaligned, "misaligned word load: %#x", uint32(a))
 			}
 			v := int32(binary.LittleEndian.Uint32(mem[a:]))
-			m.B[u.rd] = breg{addr: int64(v), calcTime: now, valid: true}
+			m.B[u.rd] = breg{addr: v, calcTime: now, valid: true}
 		case uCmpBrImm, uCmpBrReg:
 			b := u.imm
 			if u.kind == uCmpBrReg {
@@ -714,11 +719,11 @@ func (m *Machine) runFastBRM(ctx context.Context) (int32, error) {
 		case uMovRB:
 			st.BrMoves++
 			if u.rd != 0 {
-				R[u.rd] = int32(m.B[u.bsrc].addr)
+				R[u.rd] = m.B[u.bsrc].addr
 			}
 		case uMovBR:
 			st.BrMoves++
-			m.B[u.rd] = breg{addr: int64(R[u.rs1]), calcTime: now, isRA: true, valid: true}
+			m.B[u.rd] = breg{addr: R[u.rs1], calcTime: now, isRA: true, valid: true}
 
 		default: // uIllegal and any baseline-only op
 			return 0, m.fastTrap(pc, insts, TrapIllegalInstr,
@@ -740,7 +745,7 @@ func (m *Machine) runFastBRM(ctx context.Context) (int32, error) {
 				case b.addr == seq:
 					// only compares produce the sequential sentinel
 				default:
-					idx := addrToIndex(int32(b.addr))
+					idx := addrToIndex(b.addr)
 					switch {
 					case idx == -1:
 						// exit to the halt address: not a workload transfer
@@ -752,14 +757,14 @@ func (m *Machine) runFastBRM(ctx context.Context) (int32, error) {
 						st.UncondJumps++
 					}
 				}
-				ret := breg{addr: int64(isa.IndexToAddr(pc) + isa.WordSize), calcTime: now, isRA: true, valid: true}
+				ret := breg{addr: isa.IndexToAddr(pc) + isa.WordSize, calcTime: now, isRA: true, valid: true}
 				if b.addr == seq {
 					// Untaken conditional: fall through.
 					m.B[isa.RABr] = ret
 					pc++
 				} else {
 					st.CondTaken += b2i(b.viaCmp)
-					idx := addrToIndex(int32(b.addr))
+					idx := addrToIndex(b.addr)
 					if idx != -1 {
 						dist := now - b.calcTime
 						if dist > DistHistMax {

@@ -171,7 +171,7 @@ func (m *Machine) fire(op FaultOp) error {
 		} else {
 			// A garbage byte address far outside the text segment: the
 			// next transfer through b[r] raises pc-out-of-range.
-			bad := int64(int32(m.faults.next() | 0x4000_0000))
+			bad := int32(m.faults.next() | 0x4000_0000)
 			m.B[r] = breg{addr: bad, calcTime: m.Stats.Instructions, valid: true}
 		}
 	case FaultTruncateBudget:

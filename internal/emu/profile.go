@@ -77,6 +77,7 @@ func (p *BlockProfile) Counts() []int64 {
 const (
 	EngineFast         = "fast"
 	EngineInstrumented = "instrumented"
+	EngineFused        = "fused"
 )
 
 // Engine returns the name of the engine the last RunContext call used

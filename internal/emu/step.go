@@ -163,7 +163,7 @@ func (m *Machine) stepBRM(in *isa.Instr, addr int32) error {
 		} else {
 			target = addr + in.Imm
 		}
-		m.B[in.Rd] = breg{addr: int64(target), calcTime: now, valid: true}
+		m.B[in.Rd] = breg{addr: target, calcTime: now, valid: true}
 		m.prefetch(target)
 	case isa.OpBrLd:
 		m.Stats.BrCalcs++
@@ -173,7 +173,7 @@ func (m *Machine) stepBRM(in *isa.Instr, addr int32) error {
 		if err != nil {
 			return err
 		}
-		m.B[in.Rd] = breg{addr: int64(v), calcTime: now, valid: true}
+		m.B[in.Rd] = breg{addr: v, calcTime: now, valid: true}
 		m.prefetch(v)
 	case isa.OpCmpBr:
 		taken := in.Cond.HoldsInt(m.R[in.Rs1], m.rhs(in))
@@ -186,11 +186,11 @@ func (m *Machine) stepBRM(in *isa.Instr, addr int32) error {
 		m.B[in.Rd] = m.B[in.BSrc]
 	case isa.OpMovRB:
 		m.Stats.BrMoves++
-		m.setR(in.Rd, int32(m.B[in.BSrc].addr))
+		m.setR(in.Rd, m.B[in.BSrc].addr)
 	case isa.OpMovBR:
 		m.Stats.BrMoves++
 		// Restores of spilled return addresses come through here.
-		m.B[in.Rd] = breg{addr: int64(m.R[in.Rs1]), calcTime: now, isRA: true, valid: true}
+		m.B[in.Rd] = breg{addr: m.R[in.Rs1], calcTime: now, isRA: true, valid: true}
 		m.prefetch(m.R[in.Rs1])
 	default:
 		handled, err := m.exec(in)
@@ -232,7 +232,7 @@ func (m *Machine) brmAdvance(in *isa.Instr, addr int32, now int64) error {
 	case b.addr == seq:
 		// only compares produce the sequential sentinel
 	default:
-		idx := m.addrIndex(int32(b.addr))
+		idx := m.addrIndex(b.addr)
 		switch {
 		case idx == -1:
 			// exit to the halt address: not a workload transfer
@@ -248,7 +248,7 @@ func (m *Machine) brmAdvance(in *isa.Instr, addr int32, now int64) error {
 	// The return-address side effect: every instruction referencing a
 	// branch register other than the PC stores the next sequential address
 	// into b[7].
-	ret := breg{addr: int64(addr + isa.WordSize), calcTime: now, isRA: true, valid: true}
+	ret := breg{addr: addr + isa.WordSize, calcTime: now, isRA: true, valid: true}
 
 	if b.addr == seq {
 		// Untaken conditional: fall through.
@@ -263,7 +263,7 @@ func (m *Machine) brmAdvance(in *isa.Instr, addr int32, now int64) error {
 	m.Stats.CondTaken += b2i(b.viaCmp)
 	// Prefetch-distance accounting for the taken transfer (the final exit
 	// transfer is not part of the workload).
-	if m.addrIndex(int32(b.addr)) != -1 {
+	if m.addrIndex(b.addr) != -1 {
 		dist := now - b.calcTime
 		if dist > DistHistMax {
 			m.Stats.DistHist[DistHistMax]++
@@ -288,7 +288,7 @@ func (m *Machine) brmAdvance(in *isa.Instr, addr int32, now int64) error {
 		}
 	}
 	m.B[isa.RABr] = ret
-	return m.jumpTo(m.addrIndex(int32(b.addr)))
+	return m.jumpTo(m.addrIndex(b.addr))
 }
 
 // notifyTransfer reports a baseline transfer event (no prefetch distance).

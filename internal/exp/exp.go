@@ -35,10 +35,14 @@ type ProgramResult struct {
 	OracleErr   *JobError
 
 	// BaselineEngine/BRMEngine name the emulator loop that executed each
-	// cell (emu.EngineFast or emu.EngineInstrumented) — LoopAuto's choice
-	// made explicit per run.
+	// cell (emu.EngineFused, emu.EngineFast, or emu.EngineInstrumented) —
+	// LoopAuto's choice made explicit per run.
 	BaselineEngine string
 	BRMEngine      string
+	// BaselineFusion/BRMFusion describe the block-fused engine's dynamic
+	// behavior for each cell; zero unless that cell ran fused.
+	BaselineFusion emu.FusionStats
+	BRMFusion      emu.FusionStats
 	// BaselineBlocks/BRMBlocks are the per-cell hot-block tables
 	// (Spec.Profile only; top blocks by dynamic instructions).
 	BaselineBlocks []obs.HotBlock

@@ -30,7 +30,13 @@ import (
 // Like the v2 phases array, pool.reused is an environment observation
 // (garbage-collector timing), not part of the deterministic payload;
 // every other new field is byte-deterministic at any parallelism.
-const ReportSchemaVersion = 3
+//
+// v4: the block-fused engine — baseline_engine/brm_engine may now read
+// "fused" (the LoopAuto default when hooks and faults permit), and cells
+// that ran fused gain baseline_fusion/brm_fusion objects (blocks entered,
+// instructions retired inside superinstructions, hand-offs to the fast
+// loop). All three counts are byte-deterministic at any parallelism.
+const ReportSchemaVersion = 4
 
 // Float is a float64 that survives JSON: non-finite values (the ±Inf a
 // degenerate percentage cell reports, see pct) marshal as the strings
@@ -106,6 +112,9 @@ type AllSpec struct {
 	// Faults maps "<workload>/<machine label>" to a deterministic fault
 	// plan injected into that suite cell (see Spec.Faults).
 	Faults map[string]*emu.FaultPlan
+	// Loop selects the emulator engine for suite cells (see Spec.Loop);
+	// the zero value (emu.LoopAuto) prefers the block-fused loop.
+	Loop emu.LoopMode
 }
 
 // DefaultCacheConfigs returns the cache study's standard sweep.
@@ -202,7 +211,8 @@ func (r *Runner) RunAll(ctx context.Context, spec AllSpec) (*AllResults, error) 
 	if spec.Suite {
 		if err := phase("suite", func(ctx context.Context) error {
 			s, err := r.Run(ctx, Spec{Workloads: spec.Workloads, Options: spec.Options,
-				KeepGoing: spec.KeepGoing, Faults: spec.Faults, Profile: spec.Profile})
+				KeepGoing: spec.KeepGoing, Faults: spec.Faults, Profile: spec.Profile,
+				Loop: spec.Loop})
 			if err != nil {
 				return err
 			}
@@ -331,10 +341,14 @@ type ProgramReport struct {
 	BRMError       *JobError `json:"brm_error,omitempty"`
 	OracleError    *JobError `json:"oracle_error,omitempty"`
 	// Engine fields (schema v3) record which emulator loop actually ran
-	// each cell — "fast" or "instrumented" — so a silent fallback from the
-	// predecoded loop is visible in the committed trajectory.
+	// each cell — "fused", "fast" or "instrumented" — so a silent fallback
+	// from the fast-path loops is visible in the committed trajectory.
 	BaselineEngine string `json:"baseline_engine,omitempty"`
 	BRMEngine      string `json:"brm_engine,omitempty"`
+	// Fusion fields (schema v4) describe the block-fused engine's dynamic
+	// behavior; present exactly when the cell's engine is "fused".
+	BaselineFusion *emu.FusionStats `json:"baseline_fusion,omitempty"`
+	BRMFusion      *emu.FusionStats `json:"brm_fusion,omitempty"`
 	// Hot-block tables (schema v3, -profile runs only): the program's
 	// hottest dynamic basic blocks with paper-style branch-cost
 	// attribution.
@@ -409,7 +423,7 @@ func (a *AllResults) Report() *Report {
 			MinPrefetchDist:       emu.MinPrefetchDist,
 		}
 		for _, p := range s.Programs {
-			sr.Programs = append(sr.Programs, ProgramReport{
+			pr := ProgramReport{
 				Name:              p.Name,
 				Baseline:          p.Baseline,
 				BRM:               p.BRM,
@@ -422,7 +436,16 @@ func (a *AllResults) Report() *Report {
 				BRMEngine:         p.BRMEngine,
 				BaselineHotBlocks: p.BaselineBlocks,
 				BRMHotBlocks:      p.BRMBlocks,
-			})
+			}
+			if p.BaselineEngine == emu.EngineFused {
+				f := p.BaselineFusion
+				pr.BaselineFusion = &f
+			}
+			if p.BRMEngine == emu.EngineFused {
+				f := p.BRMFusion
+				pr.BRMFusion = &f
+			}
+			sr.Programs = append(sr.Programs, pr)
 		}
 		for _, row := range s.Cycles([]int{3, 4, 5}) {
 			sr.Cycles = append(sr.Cycles, CycleReport{

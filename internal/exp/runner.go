@@ -42,8 +42,13 @@ type Spec struct {
 	Faults map[string]*emu.FaultPlan
 	// Profile attaches a block profile to every suite run and aggregates
 	// the result into per-program hot-block tables (ProgramResult.*Blocks).
-	// Profiled runs stay on the fast engine; see emu.BlockProfile.
+	// Profiled runs stay on the fast-path engines; see emu.BlockProfile.
 	Profile bool
+	// Loop selects the emulator engine for every suite cell; the zero
+	// value (emu.LoopAuto) picks the block-fused loop whenever hooks and
+	// faults permit. Cells with an armed fault plan must leave this at
+	// LoopAuto (the fast-path engines reject fault plans).
+	Loop emu.LoopMode
 }
 
 // FaultKey builds a Spec.Faults key from a workload name and machine.
@@ -290,6 +295,7 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 			Faults:     spec.Faults[FaultKey(w.Name, kind)],
 			OutputHint: w.OutputHint,
 			Profile:    prof,
+			Loop:       spec.Loop,
 		})
 		if res != nil {
 			rs.SetArg("engine", res.Engine)
@@ -378,11 +384,13 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 			case isa.Baseline:
 				pr.Baseline = res.Stats
 				pr.BaselineEngine = res.Engine
+				pr.BaselineFusion = res.Fusion
 				pr.BaselineBlocks = cell.blocks
 				out.BaselineTotal.Add(&res.Stats)
 			default:
 				pr.BRM = res.Stats
 				pr.BRMEngine = res.Engine
+				pr.BRMFusion = res.Fusion
 				pr.BRMBlocks = cell.blocks
 				out.BRMTotal.Add(&res.Stats)
 			}

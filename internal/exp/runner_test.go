@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"branchreg/internal/driver"
+	"branchreg/internal/emu"
 	"branchreg/internal/isa"
 	"branchreg/internal/workloads"
 )
@@ -59,8 +60,8 @@ func TestProfiledSuiteDeterministic(t *testing.T) {
 	}
 	serial := run(1)
 	for _, p := range serial.Programs {
-		if p.BaselineEngine != "fast" || p.BRMEngine != "fast" {
-			t.Errorf("%s: engines %q/%q, want fast/fast", p.Name, p.BaselineEngine, p.BRMEngine)
+		if p.BaselineEngine != "fused" || p.BRMEngine != "fused" {
+			t.Errorf("%s: engines %q/%q, want fused/fused", p.Name, p.BaselineEngine, p.BRMEngine)
 		}
 		if len(p.BaselineBlocks) == 0 || len(p.BRMBlocks) == 0 {
 			t.Errorf("%s: missing hot blocks (%d baseline, %d BRM)",
@@ -69,6 +70,56 @@ func TestProfiledSuiteDeterministic(t *testing.T) {
 	}
 	if got := run(4); !reflect.DeepEqual(serial, got) {
 		t.Error("profiled SuiteResult differs between 1 and 4 workers")
+	}
+}
+
+// TestSuiteEngineTiersIdentical pins Spec.Loop: the suite's stats,
+// totals, and rendered tables must be byte-identical whichever engine
+// executes the cells, and the engine/fusion fields must record which one
+// did. Parallelism 4 so the tier sweep also runs under the race detector
+// with a busy pool (`make check`).
+func TestSuiteEngineTiersIdentical(t *testing.T) {
+	o := driver.DefaultOptions()
+	run := func(loop emu.LoopMode) *SuiteResult {
+		r := Runner{Parallelism: 4}
+		got, err := r.Run(context.Background(),
+			Spec{Workloads: fastSubset, Options: o, Loop: loop})
+		if err != nil {
+			t.Fatalf("loop %d: %v", loop, err)
+		}
+		return got
+	}
+	ref := run(emu.LoopInstrumented)
+	for _, p := range ref.Programs {
+		if p.BaselineEngine != emu.EngineInstrumented || p.BRMEngine != emu.EngineInstrumented {
+			t.Fatalf("%s: engines %q/%q, want instrumented", p.Name, p.BaselineEngine, p.BRMEngine)
+		}
+	}
+	for _, tier := range []struct {
+		loop   emu.LoopMode
+		engine string
+	}{{emu.LoopFast, emu.EngineFast}, {emu.LoopFused, emu.EngineFused}} {
+		got := run(tier.loop)
+		for i := range got.Programs {
+			p := &got.Programs[i]
+			if p.BaselineEngine != tier.engine || p.BRMEngine != tier.engine {
+				t.Errorf("%s: engines %q/%q, want %q", p.Name, p.BaselineEngine, p.BRMEngine, tier.engine)
+			}
+			fused := tier.engine == emu.EngineFused
+			if (p.BaselineFusion.Blocks > 0) != fused || (p.BRMFusion.Blocks > 0) != fused {
+				t.Errorf("%s: fusion stats %+v/%+v under %q", p.Name, p.BaselineFusion, p.BRMFusion, tier.engine)
+			}
+			// Stats must match the instrumented reference exactly; the
+			// engine and fusion fields are the only tier-dependent state.
+			p.BaselineEngine, p.BRMEngine = ref.Programs[i].BaselineEngine, ref.Programs[i].BRMEngine
+			p.BaselineFusion, p.BRMFusion = ref.Programs[i].BaselineFusion, ref.Programs[i].BRMFusion
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("loop %d: SuiteResult differs from instrumented reference", tier.loop)
+		}
+		if a, b := renderAll(ref), renderAll(got); a != b {
+			t.Errorf("loop %d: rendered tables differ:\n%s\n-- vs --\n%s", tier.loop, a, b)
+		}
 	}
 }
 

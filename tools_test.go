@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"branchreg/internal/exp"
 )
 
 func runTool(t *testing.T, args ...string) string {
@@ -121,8 +123,8 @@ func TestBrbenchJSONAndFilter(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("brbench -json wrote invalid JSON: %v\n%.400s", err, raw)
 	}
-	if rep.Schema != 3 {
-		t.Errorf("schema = %d, want 3", rep.Schema)
+	if rep.Schema != exp.ReportSchemaVersion {
+		t.Errorf("schema = %d, want %d", rep.Schema, exp.ReportSchemaVersion)
 	}
 	if len(rep.Suite.Programs) != 2 {
 		t.Errorf("programs in JSON = %d, want the 2 filtered workloads", len(rep.Suite.Programs))
@@ -184,8 +186,8 @@ func TestBrbenchKeepGoing(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v\n%.400s", err, raw)
 	}
-	if rep.Schema != 3 {
-		t.Errorf("schema = %d, want 3", rep.Schema)
+	if rep.Schema != exp.ReportSchemaVersion {
+		t.Errorf("schema = %d, want %d", rep.Schema, exp.ReportSchemaVersion)
 	}
 	if len(rep.Errors) != 1 {
 		t.Fatalf("errors = %d, want exactly the injected cell:\n%s", len(rep.Errors), raw)
@@ -278,8 +280,8 @@ func TestBrbenchTraceAndProfile(t *testing.T) {
 		t.Fatalf("programs = %d, want 1", len(rep.Suite.Programs))
 	}
 	p := rep.Suite.Programs[0]
-	if p.BaselineEngine != "fast" || p.BRMEngine != "fast" {
-		t.Errorf("engines = %q/%q, want fast/fast", p.BaselineEngine, p.BRMEngine)
+	if p.BaselineEngine != "fused" || p.BRMEngine != "fused" {
+		t.Errorf("engines = %q/%q, want fused/fused", p.BaselineEngine, p.BRMEngine)
 	}
 	if len(p.BaselineBlocks) == 0 || len(p.BRMBlocks) == 0 {
 		t.Errorf("hot_blocks missing: baseline %d, brm %d", len(p.BaselineBlocks), len(p.BRMBlocks))
