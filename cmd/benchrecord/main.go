@@ -67,6 +67,41 @@ var (
 	table1Line = regexp.MustCompile(`^BenchmarkTable1\S*\s+\d+\s+([\d.]+) ns/op`)
 )
 
+// measureSamples is how many times each recording or gate measurement
+// reruns the benchmark binary, keeping the best throughput per machine
+// kind. Host contention on a shared single-CPU box only ever slows a
+// run down, so the per-kind maximum is the stable statistic; single
+// draws at -benchtime 3x swing well over 10% run to run.
+const measureSamples = 3
+
+// measureBest runs measure n times and merges the results: per-kind
+// maximum emulated-insts/s, minimum Table 1 wall clock, and the
+// metrics map from the last sample that produced one.
+func measureBest(benchtime, label string, n int) (*Entry, error) {
+	best, err := measure(benchtime, label)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		next, err := measure(benchtime, label)
+		if err != nil {
+			return nil, err
+		}
+		for kind, v := range next.EmulatedInstsPerSec {
+			if v > best.EmulatedInstsPerSec[kind] {
+				best.EmulatedInstsPerSec[kind] = v
+			}
+		}
+		if next.Table1WallClockMillis < best.Table1WallClockMillis {
+			best.Table1WallClockMillis = next.Table1WallClockMillis
+		}
+		if next.Metrics != nil {
+			best.Metrics = next.Metrics
+		}
+	}
+	return best, nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_emulator.json", "trajectory file to append to")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
@@ -91,7 +126,7 @@ func main() {
 		return
 	}
 
-	entry, err := measure(*benchtime, *label)
+	entry, err := measureBest(*benchtime, *label, measureSamples)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
 		os.Exit(1)
@@ -164,10 +199,11 @@ func measure(benchtime, label string) (*Entry, error) {
 	return entry, nil
 }
 
-// runGate measures once and compares against the trajectory's last
-// entry. A suspected regression is measured a second time and the best
-// throughput per kind kept — a single noisy run should not fail `make
-// check` — but a reproducible drop beyond maxRegress percent does.
+// runGate measures (best of measureSamples runs) and compares against
+// the trajectory's last entry. A suspected regression gets a second
+// best-of-N round, keeping the best throughput per kind — a noisy
+// window should not fail `make check` — but a reproducible drop beyond
+// maxRegress percent does.
 // A *-dirty last entry (recorded from an uncommitted tree) is refused
 // unless allowDirty: it does not correspond to any commit, so gating
 // against it would anchor the budget to an unreproducible measurement.
@@ -183,7 +219,7 @@ func runGate(path, benchtime string, maxRegress float64, allowDirty bool) error 
 	}
 	fmt.Fprintf(os.Stderr, "benchrecord: gate: comparing against %s entry %s (%s)\n",
 		path, last.Commit, last.Date)
-	fresh, err := measure(benchtime, "")
+	fresh, err := measureBest(benchtime, "", measureSamples)
 	if err != nil {
 		return err
 	}
@@ -191,7 +227,7 @@ func runGate(path, benchtime string, maxRegress float64, allowDirty bool) error 
 	if len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "benchrecord: gate: suspected regression (%s), remeasuring\n",
 			strings.Join(bad, "; "))
-		again, err := measure(benchtime, "")
+		again, err := measureBest(benchtime, "", measureSamples)
 		if err != nil {
 			return err
 		}
