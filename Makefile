@@ -20,7 +20,7 @@ FUZZTIME ?= 10s
 # cache breakage) cost well over 10%.
 BENCH_REGRESS ?= 8.0
 
-.PHONY: all build test vet race fuzz-smoke generate generate-check check bench bench-all bench-gate
+.PHONY: all build test vet race fuzz-smoke generate generate-check check bench bench-all bench-gate bench-serve serve-smoke
 
 all: build
 
@@ -53,7 +53,22 @@ generate:
 generate-check:
 	$(GO) run ./internal/emu/gen -dir internal/emu -check
 
-check: vet generate-check race fuzz-smoke bench-gate
+check: vet generate-check race fuzz-smoke serve-smoke bench-gate
+
+# Boot brserve on a loopback port, drive a brief differential-verified
+# load with brload, and fail on any error, 5xx, or output divergence.
+SMOKE_ADDR ?= 127.0.0.1:8399
+serve-smoke:
+	@$(GO) build -o /tmp/brserve-smoke ./cmd/brserve
+	@$(GO) build -o /tmp/brload-smoke ./cmd/brload
+	@/tmp/brserve-smoke -addr $(SMOKE_ADDR) & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	/tmp/brload-smoke -url http://$(SMOKE_ADDR) -c 16 -n 76; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -f /tmp/brserve-smoke /tmp/brload-smoke; \
+	exit $$rc
 
 # Run the throughput benchmarks at a fixed -benchtime and append an entry
 # to BENCH_emulator.json, the committed benchmark-trajectory artifact.
@@ -65,6 +80,11 @@ bench:
 # suspected regression to absorb scheduler noise).
 bench-gate:
 	$(GO) run ./cmd/benchrecord -gate -max-regress $(BENCH_REGRESS)
+
+# Measure the brserve service (in-process, shared load generator) and
+# append p50/p99 latency + saturation req/s to BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/benchrecord -serve
 
 # Regenerate the paper's full evaluation as benchmarks with custom metrics.
 bench-all:

@@ -220,7 +220,7 @@ func BenchmarkEmulator(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			var insts int64
 			for i := 0; i < b.N; i++ {
-				res, err := driver.Run(context.Background(), w.FullSource(), kind, w.Input, o)
+				res, err := driver.Exec(context.Background(), driver.Request{Source: w.FullSource(), Kind: kind, Input: w.Input, Options: o})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -247,8 +247,8 @@ func BenchmarkEmulatorInstrumented(b *testing.B) {
 			}
 			var insts int64
 			for i := 0; i < b.N; i++ {
-				res, err := driver.RunProgramWith(context.Background(), p, w.Input,
-					driver.RunConfig{Loop: emu.LoopInstrumented})
+				res, err := driver.Exec(context.Background(), driver.Request{
+					Program: p, Input: w.Input, Loop: emu.LoopInstrumented})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -12,11 +12,20 @@
 // does not fail the build. `make bench-gate` (wired into `make check`)
 // runs exactly this.
 //
+// benchrecord manages a second trajectory for the brserve service:
+// -serve measures an in-process server under the shared load generator
+// (internal/serve) and appends p50/p99 latency and saturation req/s to
+// BENCH_serve.json; -serve -gate compares throughput against the last
+// committed entry, bootstrapping the file with an initial entry when it
+// does not exist yet. Gate output always names the file it gated.
+//
 // Usage:
 //
 //	benchrecord [-out BENCH_emulator.json] [-benchtime 3x] [-label text]
 //	benchrecord -print   # run and print the entry without writing
 //	benchrecord -gate [-max-regress 3.0]
+//	benchrecord -serve [-serve-clients 32] [-serve-requests N] [-out BENCH_serve.json]
+//	benchrecord -serve -gate [-max-regress 8.0]
 package main
 
 import (
@@ -116,7 +125,28 @@ func main() {
 		"let -gate compare against a *-dirty entry (one recorded from an\n"+
 			"uncommitted tree); refused by default because such an entry does\n"+
 			"not correspond to any commit")
+	serveMode := flag.Bool("serve", false,
+		"measure the brserve service (in-process, via the shared load\n"+
+			"generator) instead of the emulator benchmarks; the trajectory\n"+
+			"defaults to BENCH_serve.json")
+	serveClients := flag.Int("serve-clients", 32, "concurrent load clients (-serve)")
+	serveRequests := flag.Int("serve-requests", 0,
+		"total requests per load sample (-serve; 0 = ten workload-matrix sweeps)")
 	flag.Parse()
+
+	if *serveMode {
+		if *out == "BENCH_emulator.json" {
+			*out = "BENCH_serve.json"
+		}
+		if *serveRequests <= 0 {
+			*serveRequests = 10 * 19 * 2
+		}
+		if err := serveMain(*out, *serveClients, *serveRequests, *label, *printOnly, *gate, *maxRegress, *allowDirty); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *gate {
 		if err := runGate(*out, *benchtime, *maxRegress, *allowDirty); err != nil {
@@ -212,7 +242,7 @@ func runGate(path, benchtime string, maxRegress float64, allowDirty bool) error 
 	if err != nil {
 		return err
 	}
-	if strings.HasSuffix(last.Commit, "-dirty") && !allowDirty {
+	if isDirty(last.Commit) && !allowDirty {
 		return fmt.Errorf("refusing to gate against dirty entry %s (%s, %s) in %s: "+
 			"re-record it from a clean tree, or pass -allow-dirty to accept it",
 			last.Commit, last.Date, last.Benchtime, path)
@@ -243,7 +273,7 @@ func runGate(path, benchtime string, maxRegress float64, allowDirty bool) error 
 			path, last.Commit, strings.Join(bad, "\n  "))
 	}
 	fmt.Fprintf(os.Stderr,
-		"benchrecord: gate ok vs %s (baseline %.0f insts/s, branchreg %.0f insts/s, budget %.1f%%)\n",
+		"benchrecord: "+path+": gate ok vs %s (baseline %.0f insts/s, branchreg %.0f insts/s, budget %.1f%%)\n",
 		last.Commit, fresh.EmulatedInstsPerSec["baseline"],
 		fresh.EmulatedInstsPerSec["branchreg"], maxRegress)
 	return nil
@@ -290,6 +320,9 @@ func lastEntry(path string) (*Entry, error) {
 	}
 	return &f.Entries[len(f.Entries)-1], nil
 }
+
+// isDirty reports whether a recorded commit came from a modified tree.
+func isDirty(commit string) bool { return strings.HasSuffix(commit, "-dirty") }
 
 // gitCommit returns the short HEAD hash, "-dirty" suffixed when the
 // working tree differs, or "unknown" outside a git checkout.

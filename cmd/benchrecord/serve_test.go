@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func serveEntry(reqs float64) *ServeEntry {
+	return &ServeEntry{Commit: "abc1234", ReqPerSec: reqs, P50Millis: 10, P99Millis: 50}
+}
+
+func TestServeGateCheck(t *testing.T) {
+	last := serveEntry(100)
+	for _, fresh := range []*ServeEntry{serveEntry(100), serveEntry(120), serveEntry(93)} {
+		if bad := serveGateCheck(last, fresh, 8.0); bad != "" {
+			t.Errorf("serveGateCheck(%.0f req/s) = %q, want pass", fresh.ReqPerSec, bad)
+		}
+	}
+	if bad := serveGateCheck(last, serveEntry(80), 8.0); !strings.Contains(bad, "20.0% drop") {
+		t.Errorf("20%% drop = %q, want a violation naming the drop", bad)
+	}
+	// No history to compare against: pass, like the emulator gate.
+	if bad := serveGateCheck(serveEntry(0), serveEntry(1), 8.0); bad != "" {
+		t.Errorf("zero-history gate = %q, want pass", bad)
+	}
+}
+
+func TestMergeServeBest(t *testing.T) {
+	best := &ServeEntry{ReqPerSec: 100, P50Millis: 12, P99Millis: 80, Coalesced: 1, Retries429: 5}
+	mergeServeBest(best, &ServeEntry{ReqPerSec: 120, P50Millis: 15, P99Millis: 60, Coalesced: 9, Retries429: 2})
+	if best.ReqPerSec != 120 || best.Coalesced != 9 || best.Retries429 != 2 {
+		t.Errorf("throughput fields not taken from the faster sample: %+v", best)
+	}
+	if best.P50Millis != 12 || best.P99Millis != 60 {
+		t.Errorf("percentiles are not per-field minima: %+v", best)
+	}
+	mergeServeBest(best, &ServeEntry{ReqPerSec: 50, P50Millis: 40, P99Millis: 90})
+	if best.ReqPerSec != 120 || best.P50Millis != 12 || best.P99Millis != 60 {
+		t.Errorf("slower sample overwrote the best: %+v", best)
+	}
+}
+
+func TestServeTrajectoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+
+	// A missing trajectory is os.IsNotExist — the signal runServeGate
+	// bootstraps from instead of failing.
+	if _, err := lastServeEntry(path); !os.IsNotExist(err) {
+		t.Fatalf("missing file error = %v, want os.IsNotExist", err)
+	}
+
+	// Appending to the missing file creates it with the schema header.
+	if err := appendServeEntry(path, *serveEntry(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendServeEntry(path, *serveEntry(110)); err != nil {
+		t.Fatal(err)
+	}
+	last, err := lastServeEntry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.ReqPerSec != 110 {
+		t.Errorf("last entry req/s = %v, want 110 (the newest)", last.ReqPerSec)
+	}
+
+	// A schema mismatch is refused, not silently rewritten.
+	if err := os.WriteFile(path, []byte(`{"schema":99,"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendServeEntry(path, *serveEntry(1)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("append over schema 99 = %v, want a schema error", err)
+	}
+}

@@ -71,7 +71,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := driver.Run(context.Background(), src, kind, input, driver.DefaultOptions())
+	res, err := driver.Exec(context.Background(), driver.Request{
+		Source: src, Kind: kind, Input: input, Options: driver.DefaultOptions()})
 	if err != nil {
 		fatal(err)
 	}

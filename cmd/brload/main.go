@@ -1,0 +1,78 @@
+// brload drives concurrent load against a running brserve instance: N
+// clients sweep the 19-workload suite on both machines, verify every
+// response against a local driver.Exec run (the differential oracle),
+// and report p50/p99 latency and saturation throughput.
+//
+// Usage:
+//
+//	brload [-url http://127.0.0.1:8377] [-c 64] [-n requests] [-tenant t]
+//	       [-no-verify] [-json]
+//
+// The exit status is nonzero if any request failed, any response was a
+// 5xx, or any output diverged from the local oracle.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"branchreg/internal/serve"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8377", "brserve base URL")
+	clients := flag.Int("c", 64, "concurrent clients")
+	requests := flag.Int("n", 0, "total requests (0 = 8x the workload matrix)")
+	tenant := flag.String("tenant", "", "tenant name sent with every request")
+	noVerify := flag.Bool("no-verify", false, "skip the local differential oracle")
+	asJSON := flag.Bool("json", false, "print the result as JSON")
+	flag.Parse()
+
+	spec := serve.LoadSpec{
+		BaseURL:  *url,
+		Clients:  *clients,
+		Requests: *requests,
+		Tenant:   *tenant,
+	}
+	if spec.Requests <= 0 {
+		spec.Requests = 8 * 19 * 2 // eight sweeps of the workload × machine matrix
+	}
+	if !*noVerify {
+		spec.Verify = serve.NewDifferentialOracle().Verify
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	res, err := serve.RunLoad(ctx, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brload:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+	} else {
+		fmt.Printf("requests   %d (%d clients)\n", res.Requests, spec.Clients)
+		fmt.Printf("errors     %d (5xx: %d)\n", res.Errors, res.Server5xx)
+		fmt.Printf("429 retries %d, coalesced %d\n", res.Retries429, res.Coalesced)
+		fmt.Printf("latency    p50 %s, p99 %s\n",
+			time.Duration(res.P50NS), time.Duration(res.P99NS))
+		fmt.Printf("throughput %.1f req/s over %s\n",
+			res.ReqPerSec, time.Duration(res.WallNS).Round(time.Millisecond))
+		for _, f := range res.Failures {
+			fmt.Printf("  FAIL %s/%s (HTTP %d): %s\n", f.Workload, f.Machine, f.Code, f.Err)
+		}
+	}
+	if res.Errors > 0 || res.Server5xx > 0 {
+		os.Exit(1)
+	}
+}

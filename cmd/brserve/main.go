@@ -1,0 +1,102 @@
+// brserve is the multi-tenant compile-and-run service: a long-running
+// HTTP/JSON front end over the unified driver.Request API (see
+// internal/serve for the wire contract and the admission design).
+//
+// Usage:
+//
+//	brserve [-addr :8377] [-workers N] [-queue N] [-budget N] [-max-budget N]
+//	        [-tenant-budgets name=N,name=N] [-timeout 2m]
+//
+// Endpoints: POST /v1/run, GET /v1/workloads, GET /healthz, GET /metrics.
+// SIGINT/SIGTERM starts a graceful drain: admission answers 503, queued
+// jobs finish, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"branchreg/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8377", "listen address")
+	workers := flag.Int("workers", 0, "execution workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "total queued-job capacity (0 = 4x workers)")
+	budget := flag.Int64("budget", 0, "default per-request step budget (0 = emulator default)")
+	maxBudget := flag.Int64("max-budget", 0, "step-budget cap for every tenant (0 = uncapped)")
+	tenants := flag.String("tenant-budgets", "", "per-tenant step-budget caps, name=N,name=N")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-job execution timeout")
+	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	flag.Parse()
+
+	tb, err := parseTenantBudgets(*tenants)
+	if err != nil {
+		fatal(err)
+	}
+	s := serve.New(serve.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		DefaultStepBudget: *budget,
+		MaxStepBudget:     *maxBudget,
+		TenantBudgets:     tb,
+		JobTimeout:        *timeout,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	fmt.Fprintf(os.Stderr, "brserve: listening on %s\n", *addr)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "brserve: %v, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "brserve:", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "brserve:", err)
+	}
+}
+
+// parseTenantBudgets decodes "alice=1000000,bob=500000".
+func parseTenantBudgets(s string) (map[string]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int64{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad tenant budget %q (want name=N)", part)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad tenant budget %q: want a positive count", part)
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brserve:", err)
+	os.Exit(1)
+}

@@ -75,8 +75,8 @@ func main() {
 				os.Exit(1)
 			}
 			prof := emu.NewBlockProfile(len(p.Text))
-			if _, err := driver.RunProgramWith(context.Background(), p, w.Input,
-				driver.RunConfig{Profile: prof, OutputHint: w.OutputHint}); err != nil {
+			if _, err := driver.Exec(context.Background(), driver.Request{
+				Program: p, Input: w.Input, Profile: prof, OutputHint: w.OutputHint}); err != nil {
 				fmt.Fprintf(os.Stderr, "fusepairs: run %s/%v: %v\n", w.Name, kind, err)
 				os.Exit(1)
 			}

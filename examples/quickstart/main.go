@@ -42,7 +42,7 @@ func main() {
 	fmt.Println()
 
 	for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-		res, err := driver.Run(context.Background(), program, kind, "", opts)
+		res, err := driver.Exec(context.Background(), driver.Request{Source: program, Kind: kind, Input: "", Options: opts})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,8 +61,8 @@ func main() {
 		fmt.Println()
 	}
 
-	base, _ := driver.Run(context.Background(), program, isa.Baseline, "", opts)
-	brm, _ := driver.Run(context.Background(), program, isa.BranchReg, "", opts)
+	base, _ := driver.Exec(context.Background(), driver.Request{Source: program, Kind: isa.Baseline, Input: "", Options: opts})
+	brm, _ := driver.Exec(context.Background(), driver.Request{Source: program, Kind: isa.BranchReg, Input: "", Options: opts})
 	saved := base.Stats.Instructions - brm.Stats.Instructions
 	fmt.Printf("branch registers saved %d instructions (%.1f%%) on this program\n",
 		saved, 100*float64(saved)/float64(base.Stats.Instructions))

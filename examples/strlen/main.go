@@ -57,7 +57,7 @@ func main() {
 	fmt.Println(listing(brm, "strlen"))
 
 	for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-		res, err := driver.Run(context.Background(), source, kind, "", opts)
+		res, err := driver.Exec(context.Background(), driver.Request{Source: source, Kind: kind, Input: "", Options: opts})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -98,21 +98,17 @@ func (c *Cache) Compile(ctx context.Context, src string, kind isa.Kind, o Option
 }
 
 // Run compiles src through the cache and executes it with the given stdin.
+//
+// Deprecated: use Cache.Exec with a Request.
 func (c *Cache) Run(ctx context.Context, src string, kind isa.Kind, input string, o Options) (*Result, error) {
-	return c.RunFaults(ctx, src, kind, input, o, nil)
+	return c.Exec(ctx, Request{Source: src, Kind: kind, Input: input, Options: o})
 }
 
 // RunFaults is Run with a deterministic fault plan armed on the emulator.
-// The plan affects only this execution; the cached program is untouched.
+//
+// Deprecated: use Cache.Exec with a Request carrying Faults.
 func (c *Cache) RunFaults(ctx context.Context, src string, kind isa.Kind, input string, o Options, plan *emu.FaultPlan) (*Result, error) {
-	p, err := c.Compile(ctx, src, kind, o)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return RunProgramContext(ctx, p, input, plan)
+	return c.Exec(ctx, Request{Source: src, Kind: kind, Input: input, Options: o, Faults: plan})
 }
 
 // Stats returns a snapshot of the cache counters.

@@ -135,33 +135,31 @@ type Result struct {
 	// entered, superinstructions retired, hand-offs to the fast loop).
 	// Zero unless Engine is emu.EngineFused.
 	Fusion emu.FusionStats
+	// Timing is where the request's wall clock went: compile (zero for
+	// pre-linked programs and compile-cache hits served without waiting)
+	// and emulation, plus queue wait when the request passed through
+	// brserve's admission queue.
+	Timing Timing
 }
 
 // Run compiles and executes src on the given machine with the given stdin.
-// Emulator faults surface as *emu.Trap values reachable with errors.As.
+//
+// Deprecated: use Exec with a Request.
 func Run(ctx context.Context, src string, kind isa.Kind, input string, o Options) (*Result, error) {
-	p, err := Compile(ctx, src, kind, o)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return RunProgramContext(ctx, p, input, nil)
+	return Exec(ctx, Request{Source: src, Kind: kind, Input: input, Options: o})
 }
 
-// RunProgram executes a linked program with the given stdin. Linked
-// programs are read-only to the emulator (it copies the data image into
-// its own memory), so one program may be run concurrently from many
-// goroutines.
+// RunProgram executes a linked program with the given stdin.
+//
+// Deprecated: use Exec with a Request carrying the Program.
 func RunProgram(p *isa.Program, input string) (*Result, error) {
-	return RunProgramContext(context.Background(), p, input, nil)
+	return Exec(context.Background(), Request{Program: p, Input: input})
 }
 
-// RunProgramContext executes a linked program with the given stdin,
-// honoring the context (polled between instruction batches, so per-job
-// timeouts interrupt diverging programs) and an optional deterministic
-// fault plan. Emulator faults come back as *emu.Trap.
+// RunProgramContext executes a linked program with the given stdin and an
+// optional deterministic fault plan.
+//
+// Deprecated: use Exec with a Request carrying the Program and Faults.
 func RunProgramContext(ctx context.Context, p *isa.Program, input string, plan *emu.FaultPlan) (*Result, error) {
-	return RunProgramWith(ctx, p, input, RunConfig{Faults: plan})
+	return Exec(ctx, Request{Program: p, Input: input, Faults: plan})
 }

@@ -190,7 +190,7 @@ func TestDifferentialExecution(t *testing.T) {
 				t.Fatalf("irexec: %v", err)
 			}
 			for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-				res, err := Run(context.Background(), p.src, kind, p.input, o)
+				res, err := Exec(context.Background(), Request{Source: p.src, Kind: kind, Input: p.input, Options: o})
 				if err != nil {
 					t.Fatalf("%v: %v", kind, err)
 				}
@@ -227,7 +227,7 @@ func TestDifferentialAblations(t *testing.T) {
 				if err != nil {
 					t.Fatalf("irexec: %v", err)
 				}
-				res, err := Run(context.Background(), p.src, isa.BranchReg, p.input, o)
+				res, err := Exec(context.Background(), Request{Source: p.src, Kind: isa.BranchReg, Input: p.input, Options: o})
 				if err != nil {
 					t.Fatalf("run: %v", err)
 				}
@@ -257,11 +257,11 @@ int main(void) {
     return s % 256;
 }`
 	o := DefaultOptions()
-	base, err := Run(context.Background(), src, isa.Baseline, "", o)
+	base, err := Exec(context.Background(), Request{Source: src, Kind: isa.Baseline, Input: "", Options: o})
 	if err != nil {
 		t.Fatal(err)
 	}
-	brm, err := Run(context.Background(), src, isa.BranchReg, "", o)
+	brm, err := Exec(context.Background(), Request{Source: src, Kind: isa.BranchReg, Input: "", Options: o})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ int main(void) {
     for (int i = 0; i < 10; i++) s = work(s + i);
     return s % 100;
 }`
-	res, err := Run(context.Background(), src, isa.Baseline, "", DefaultOptions())
+	res, err := Exec(context.Background(), Request{Source: src, Kind: isa.Baseline, Input: "", Options: DefaultOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ int main(void) {
 	if st.Instructions == 0 || st.DataRefs() == 0 {
 		t.Error("empty stats")
 	}
-	brm, err := Run(context.Background(), src, isa.BranchReg, "", DefaultOptions())
+	brm, err := Exec(context.Background(), Request{Source: src, Kind: isa.BranchReg, Input: "", Options: DefaultOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ int main(void) {
 	input := "the Branch Register Machine, 1990!\n"
 	want := strings.ToUpper(input)
 	for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-		res, err := Run(context.Background(), src, kind, input, DefaultOptions())
+		res, err := Exec(context.Background(), Request{Source: src, Kind: kind, Input: input, Options: DefaultOptions()})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -35,21 +35,28 @@ var engineTiers = []struct {
 	{"fused-prof", emu.LoopFused, true, emu.EngineFused},
 }
 
+// eqResult compares two Results ignoring Timing, which records wall
+// clock and is never deterministic.
+func eqResult(a, b Result) bool {
+	a.Timing, b.Timing = Timing{}, Timing{}
+	return a == b
+}
+
 // runAllEngines executes p under every engine tier and fails on any
 // divergence, returning the (shared) result (nil if the program traps).
 func runAllEngines(t *testing.T, p *isa.Program, input string) *Result {
 	t.Helper()
-	cfg := func(tier int) RunConfig {
-		c := RunConfig{Loop: engineTiers[tier].loop}
+	req := func(tier int) Request {
+		r := Request{Program: p, Input: input, Loop: engineTiers[tier].loop}
 		if engineTiers[tier].prof {
-			c.Profile = emu.NewBlockProfile(len(p.Text))
+			r.Profile = emu.NewBlockProfile(len(p.Text))
 		}
-		return c
+		return r
 	}
-	inst, ierr := RunProgramWith(context.Background(), p, input, cfg(0))
+	inst, ierr := Exec(context.Background(), req(0))
 	for i := 1; i < len(engineTiers); i++ {
 		tier := engineTiers[i]
-		res, err := RunProgramWith(context.Background(), p, input, cfg(i))
+		res, err := Exec(context.Background(), req(i))
 		if (err == nil) != (ierr == nil) {
 			t.Fatalf("error divergence: %s=%v instrumented=%v", tier.name, err, ierr)
 		}
@@ -69,7 +76,7 @@ func runAllEngines(t *testing.T, p *isa.Program, input string) *Result {
 		instEq := *inst
 		instEq.Engine = res.Engine // only the engine name
 		instEq.Fusion = res.Fusion // and the tier-descriptive counters may differ
-		if *res != instEq {
+		if !eqResult(*res, instEq) {
 			t.Fatalf("result divergence:\n %s: %+v\n step: %+v", tier.name, res, inst)
 		}
 	}
@@ -139,7 +146,7 @@ func TestMemPoolConcurrentRunners(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ref, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{OutputHint: w.OutputHint})
+			ref, err := Exec(context.Background(), Request{Program: p, Input: w.Input, OutputHint: w.OutputHint})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -155,12 +162,12 @@ func TestMemPoolConcurrentRunners(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
 				c := cells[(g+i)%len(cells)]
-				res, err := RunProgramWith(context.Background(), c.p, c.input, RunConfig{})
+				res, err := Exec(context.Background(), Request{Program: c.p, Input: c.input})
 				if err != nil {
 					errs <- err
 					return
 				}
-				if *res != c.want {
+				if !eqResult(*res, c.want) {
 					errs <- fmt.Errorf("pooled run diverged for %s", c.p.Kind)
 					return
 				}
@@ -181,16 +188,16 @@ func TestRunConfigOutputHintHarmless(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{})
+	ref, err := Exec(context.Background(), Request{Program: p, Input: w.Input})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, hint := range []int{-5, 0, 1, 1 << 20} {
-		res, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{OutputHint: hint})
+		res, err := Exec(context.Background(), Request{Program: p, Input: w.Input, OutputHint: hint})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if *res != *ref {
+		if !eqResult(*res, *ref) {
 			t.Errorf("hint %d changed the result", hint)
 		}
 	}

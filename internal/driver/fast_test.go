@@ -30,11 +30,11 @@ int main(void) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rn, err := Run(context.Background(), src, isa.BranchReg, "", normal)
+	rn, err := Exec(context.Background(), Request{Source: src, Kind: isa.BranchReg, Input: "", Options: normal})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf, err := Run(context.Background(), src, isa.BranchReg, "", fast)
+	rf, err := Exec(context.Background(), Request{Source: src, Kind: isa.BranchReg, Input: "", Options: fast})
 	if err != nil {
 		t.Fatal(err)
 	}

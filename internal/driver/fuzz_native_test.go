@@ -43,7 +43,7 @@ func FuzzDifferentialPrograms(f *testing.F) {
 			if err != nil {
 				t.Fatalf("%v: %v\nprogram:\n%s", kind, err, src)
 			}
-			fast, err := RunProgramWith(context.Background(), p, "", RunConfig{Loop: emu.LoopFast})
+			fast, err := Exec(context.Background(), Request{Program: p, Loop: emu.LoopFast})
 			if err != nil {
 				t.Fatalf("%v fast: %v\nprogram:\n%s", kind, err, src)
 			}
@@ -51,13 +51,13 @@ func FuzzDifferentialPrograms(f *testing.F) {
 				t.Fatalf("%v diverges: status %d vs reference %d\nprogram:\n%s",
 					kind, fast.Status, refStatus, src)
 			}
-			inst, err := RunProgramWith(context.Background(), p, "", RunConfig{Loop: emu.LoopInstrumented})
+			inst, err := Exec(context.Background(), Request{Program: p, Loop: emu.LoopInstrumented})
 			if err != nil {
 				t.Fatalf("%v instrumented: %v\nprogram:\n%s", kind, err, src)
 			}
 			instEq := *inst
 			instEq.Engine = fast.Engine // only the engine name may differ
-			if *fast != instEq {
+			if !eqResult(*fast, instEq) {
 				t.Fatalf("%v engine divergence:\n fast: %+v\n inst: %+v\nprogram:\n%s",
 					kind, fast, inst, src)
 			}
@@ -136,7 +136,7 @@ func FuzzFusedDifferential(f *testing.F) {
 			} else if trap := new(emu.Trap); errors.As(err, &trap) {
 				t.Fatalf("%v: fault-plan rejection should not be a trap: %v", kind, err)
 			}
-			auto, err := RunProgramContext(context.Background(), p, "", plan)
+			auto, err := Exec(context.Background(), Request{Program: p, Faults: plan})
 			if err != nil {
 				var trap *emu.Trap
 				if !errors.As(err, &trap) {
@@ -217,7 +217,7 @@ func FuzzFaultPlan(f *testing.F) {
 		}
 		plan := planFromBytes(data)
 		for _, p := range progs {
-			_, err := RunProgramContext(context.Background(), p, "", plan)
+			_, err := Exec(context.Background(), Request{Program: p, Faults: plan})
 			if err == nil {
 				continue
 			}

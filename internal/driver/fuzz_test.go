@@ -182,7 +182,7 @@ func TestFuzzDifferential(t *testing.T) {
 			t.Fatalf("iteration %d: irexec: %v\nprogram:\n%s", i, err, src)
 		}
 		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-			res, err := Run(context.Background(), src, kind, "", o)
+			res, err := Exec(context.Background(), Request{Source: src, Kind: kind, Input: "", Options: o})
 			if err != nil {
 				t.Fatalf("iteration %d on %v: %v\nprogram:\n%s", i, kind, err, src)
 			}

@@ -42,7 +42,10 @@ func releaseMem(b *[]byte) {
 	memPool.Put(b)
 }
 
-// RunConfig carries per-run execution options for RunProgramWith.
+// RunConfig carries per-run execution options.
+//
+// Deprecated: build a Request instead; RunConfig survives only as the
+// parameter type of the deprecated RunProgramWith wrapper.
 type RunConfig struct {
 	// Faults is an optional deterministic fault-injection plan.
 	Faults *emu.FaultPlan
@@ -59,22 +62,38 @@ type RunConfig struct {
 }
 
 // RunProgramWith executes a linked program with pooled emulator memory
-// and the given run configuration. Emulator faults come back as *emu.Trap.
+// and the given run configuration.
+//
+// Deprecated: use Exec with a Request carrying the Program.
 func RunProgramWith(ctx context.Context, p *isa.Program, input string, cfg RunConfig) (*Result, error) {
+	return Exec(ctx, Request{Program: p, Input: input, Faults: cfg.Faults,
+		OutputHint: cfg.OutputHint, Loop: cfg.Loop, Profile: cfg.Profile})
+}
+
+// execute runs a linked program with pooled emulator memory under the
+// Request's execution fields (Input, Faults, Loop, OutputHint,
+// MaxInstructions, Profile). Every execution path funnels through here,
+// so the pool, the metrics, and the trap accounting behave identically
+// for Exec, Cache.Exec, and the deprecated wrappers.
+func execute(ctx context.Context, p *isa.Program, req *Request) (*Result, error) {
 	mem := borrowMem()
 	defer releaseMem(mem)
-	m, err := emu.NewWithMem(p, input, *mem)
+	m, err := emu.NewWithMem(p, req.Input, *mem)
 	if err != nil {
 		return nil, err
 	}
-	m.SetFaultPlan(cfg.Faults)
-	m.Loop = cfg.Loop
-	m.Prof = cfg.Profile
-	m.ReserveOutput(cfg.OutputHint)
+	m.SetFaultPlan(req.Faults)
+	m.Loop = req.Loop
+	m.Prof = req.Profile
+	m.ReserveOutput(req.OutputHint)
+	if req.MaxInstructions > 0 {
+		m.MaxInstructions = req.MaxInstructions
+	}
 	start := time.Now()
 	status, err := m.RunContext(ctx)
+	runNS := time.Since(start).Nanoseconds()
 	mRuns.Inc()
-	mRunNS.Observe(time.Since(start).Nanoseconds())
+	mRunNS.Observe(runNS)
 	switch m.Engine() {
 	case emu.EngineFused:
 		mEngineFused.Inc()
@@ -95,5 +114,6 @@ func RunProgramWith(ctx context.Context, p *isa.Program, input string, cfg RunCo
 		}
 		return nil, err
 	}
-	return &Result{Output: m.Output(), Status: status, Stats: m.Stats, Engine: m.Engine(), Fusion: m.Fusion}, nil
+	return &Result{Output: m.Output(), Status: status, Stats: m.Stats,
+		Engine: m.Engine(), Fusion: m.Fusion, Timing: Timing{RunNS: runNS}}, nil
 }

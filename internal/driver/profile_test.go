@@ -31,16 +31,16 @@ func TestProfiledRunsMatchUnprofiled(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				plain, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{})
+				plain, err := Exec(context.Background(), Request{Program: p, Input: w.Input})
 				if err != nil {
 					t.Fatal(err)
 				}
 				prof := emu.NewBlockProfile(len(p.Text))
-				profiled, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{Profile: prof})
+				profiled, err := Exec(context.Background(), Request{Program: p, Input: w.Input, Profile: prof})
 				if err != nil {
 					t.Fatal(err)
 				}
-				if *plain != *profiled {
+				if !eqResult(*plain, *profiled) {
 					t.Fatalf("profiling changed the run:\n plain:    %+v\n profiled: %+v", plain, profiled)
 				}
 				if profiled.Engine != emu.EngineFused {
@@ -106,12 +106,12 @@ func TestProfileEnginesAgree(t *testing.T) {
 			}
 			fastProf := emu.NewBlockProfile(len(p.Text))
 			instProf := emu.NewBlockProfile(len(p.Text))
-			if _, err := RunProgramWith(context.Background(), p, w.Input,
-				RunConfig{Loop: emu.LoopFast, Profile: fastProf}); err != nil {
+			if _, err := Exec(context.Background(), Request{Program: p, Input: w.Input,
+				Loop: emu.LoopFast, Profile: fastProf}); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := RunProgramWith(context.Background(), p, w.Input,
-				RunConfig{Loop: emu.LoopInstrumented, Profile: instProf}); err != nil {
+			if _, err := Exec(context.Background(), Request{Program: p, Input: w.Input,
+				Loop: emu.LoopInstrumented, Profile: instProf}); err != nil {
 				t.Fatal(err)
 			}
 			if !reflect.DeepEqual(fastProf, instProf) {
@@ -132,7 +132,7 @@ func TestEngineRecordedOnAutoFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	auto, err := RunProgramWith(context.Background(), p, w.Input, RunConfig{})
+	auto, err := Exec(context.Background(), Request{Program: p, Input: w.Input})
 	if err != nil {
 		t.Fatal(err)
 	}

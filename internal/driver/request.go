@@ -1,0 +1,158 @@
+package driver
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"branchreg/internal/emu"
+	"branchreg/internal/isa"
+)
+
+// Request is the one description of a compile-and-run job that every
+// consumer of the driver — the experiment runner, the command-line
+// tools, and the brserve service — speaks. Exec and Cache.Exec take a
+// Request and return a Result; the older entry points (Run, RunProgram,
+// RunProgramContext, RunProgramWith, Cache.Run, Cache.RunFaults) are
+// deprecated one-line wrappers over it.
+type Request struct {
+	// Source is the MC program to compile for Kind. Ignored when Program
+	// is set.
+	Source string
+	// Program short-circuits compilation: a pre-linked program to execute
+	// as-is. Linked programs are read-only to the emulator, so one
+	// Program may appear in many concurrent Requests.
+	Program *isa.Program
+	// Kind selects the target machine (isa.Baseline or isa.BranchReg).
+	// Ignored when Program is set (the program was already generated for
+	// its machine).
+	Kind isa.Kind
+	// Input is the program's stdin.
+	Input string
+	// Options configures the compilation pipeline. Ignored when Program
+	// is set.
+	Options Options
+	// Faults is an optional deterministic fault-injection plan, armed on
+	// this execution only.
+	Faults *emu.FaultPlan
+	// Loop selects the emulator engine; the zero value (emu.LoopAuto)
+	// picks the block-fused loop whenever hooks and faults permit.
+	Loop emu.LoopMode
+	// OutputHint pre-sizes the emulator's output buffer to the number of
+	// bytes the program is expected to write (0 = no hint). It affects
+	// only allocation, never output, so Fingerprint excludes it.
+	OutputHint int
+	// MaxInstructions bounds the run's instruction count (0 = the
+	// emulator's default budget). Exceeding it surfaces as a
+	// TrapStepBudget *emu.Trap carrying the limit and the executed
+	// count — the sandboxing contract brserve's per-tenant budgets
+	// build on.
+	MaxInstructions int64
+	// Profile, when set, receives the run's flow counts (see
+	// emu.BlockProfile). Must be sized for the program's Text; profiling
+	// does not force the instrumented engine.
+	Profile *emu.BlockProfile
+}
+
+// Validate rejects requests the driver cannot honor.
+func (r *Request) Validate() error {
+	if r.Program == nil {
+		if r.Source == "" {
+			return fmt.Errorf("driver: request has neither Source nor Program")
+		}
+		if err := r.Options.Validate(); err != nil {
+			return err
+		}
+	}
+	if r.MaxInstructions < 0 {
+		return fmt.Errorf("driver: MaxInstructions must be >= 0, got %d", r.MaxInstructions)
+	}
+	return nil
+}
+
+// Fingerprint returns a deterministic encoding of every Request field
+// that can affect the Result — source, machine, input, compile options,
+// engine selection, step budget, and any armed fault plan. Two Requests
+// with equal fingerprints are interchangeable, which is exactly the
+// coalescing contract brserve relies on: requests that differ only in
+// OutputHint (an allocation hint) share a fingerprint, while requests
+// that differ in Loop (engine metadata in the Result) or Faults (trap
+// behavior) never do. A Request carrying a Program or Profile pointer
+// fingerprints the pointer itself, so such requests only ever coalesce
+// with requests sharing the same object.
+func (r *Request) Fingerprint() string {
+	src := sha256.Sum256([]byte(r.Source))
+	in := sha256.Sum256([]byte(r.Input))
+	fp := fmt.Sprintf("src=%s|kind=%d|in=%s|%s|loop=%d|max=%d",
+		hex.EncodeToString(src[:]), r.Kind, hex.EncodeToString(in[:]),
+		r.Options.Fingerprint(), r.Loop, r.MaxInstructions)
+	if r.Program != nil {
+		fp += fmt.Sprintf("|prog=%p", r.Program)
+	}
+	if r.Faults != nil {
+		fp += fmt.Sprintf("|faults=%+v", *r.Faults)
+	}
+	if r.Profile != nil {
+		fp += fmt.Sprintf("|prof=%p", r.Profile)
+	}
+	return fp
+}
+
+// Timing is where a Result's wall clock went, in nanoseconds. QueueNS
+// is zero unless the request passed through an admission queue (brserve
+// fills it).
+type Timing struct {
+	CompileNS int64 `json:"compile_ns"`
+	RunNS     int64 `json:"run_ns"`
+	QueueNS   int64 `json:"queue_ns,omitempty"`
+}
+
+// Exec compiles (unless the Request carries a pre-linked Program) and
+// executes one Request. Emulator faults surface as *emu.Trap values
+// reachable with errors.As; the Result records which engine ran, its
+// fusion behavior, and per-phase timings.
+func Exec(ctx context.Context, req Request) (*Result, error) {
+	return exec(ctx, req, func(ctx context.Context) (*isa.Program, error) {
+		return Compile(ctx, req.Source, req.Kind, req.Options)
+	})
+}
+
+// Exec is driver.Exec with compilation memoized through the cache:
+// concurrent Requests for the same (source, machine, options) block on a
+// single compilation. Execution itself is never cached — every Request
+// runs.
+func (c *Cache) Exec(ctx context.Context, req Request) (*Result, error) {
+	return exec(ctx, req, func(ctx context.Context) (*isa.Program, error) {
+		return c.Compile(ctx, req.Source, req.Kind, req.Options)
+	})
+}
+
+// exec is the shared Exec body, parameterized over how a missing
+// Program is compiled.
+func exec(ctx context.Context, req Request, compile func(context.Context) (*isa.Program, error)) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	p := req.Program
+	var compileNS int64
+	if p == nil {
+		start := time.Now()
+		var err error
+		p, err = compile(ctx)
+		if err != nil {
+			return nil, err
+		}
+		compileNS = time.Since(start).Nanoseconds()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := execute(ctx, p, &req)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.CompileNS = compileNS
+	return res, nil
+}

@@ -34,7 +34,7 @@ func brmLoop(f *isa.Function) {
 }
 
 // TestTrapKindsThroughDriverAndSchema drives every TrapKind through
-// driver.RunProgramContext — real execution or a deterministic fault
+// driver.Exec — real execution or a deterministic fault
 // plan — and round-trips the resulting typed failure through the JSON
 // report schema. A new TrapKind without a scenario here fails the test.
 func TestTrapKindsThroughDriverAndSchema(t *testing.T) {
@@ -87,7 +87,7 @@ func TestTrapKindsThroughDriverAndSchema(t *testing.T) {
 			t.Errorf("no driver scenario for trap kind %v", kind)
 			continue
 		}
-		_, err := driver.RunProgramContext(context.Background(), sc.p, "", sc.plan)
+		_, err := driver.Exec(context.Background(), driver.Request{Program: sc.p, Faults: sc.plan})
 		if err == nil {
 			t.Errorf("%v: scenario ran cleanly", kind)
 			continue

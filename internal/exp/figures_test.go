@@ -118,11 +118,11 @@ func TestStrlenLoopShorter(t *testing.T) {
 	// Run on a longer string so loop iterations dominate.
 	src := strings.Replace(strlenSrc, `"branch registers"`, `"branch registers!!"`, 1)
 	src = strings.Replace(src, "char text[20]", "char text[20]", 1)
-	base, err := driver.Run(context.Background(), src, isa.Baseline, "", o)
+	base, err := driver.Exec(context.Background(), driver.Request{Source: src, Kind: isa.Baseline, Input: "", Options: o})
 	if err != nil {
 		t.Fatal(err)
 	}
-	brm, err := driver.Run(context.Background(), src, isa.BranchReg, "", o)
+	brm, err := driver.Exec(context.Background(), driver.Request{Source: src, Kind: isa.BranchReg, Input: "", Options: o})
 	if err != nil {
 		t.Fatal(err)
 	}

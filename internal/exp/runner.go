@@ -291,7 +291,9 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SuiteResult, error) {
 			prof = emu.NewBlockProfile(len(p.Text))
 		}
 		rs := r.Tracer.Begin("run", "emu", cell.ID(), tid)
-		res, err = driver.RunProgramWith(ctx, p, w.Input, driver.RunConfig{
+		res, err = driver.Exec(ctx, driver.Request{
+			Program:    p,
+			Input:      w.Input,
 			Faults:     spec.Faults[FaultKey(w.Name, kind)],
 			OutputHint: w.OutputHint,
 			Profile:    prof,
@@ -483,7 +485,8 @@ func (r *Runner) Ablations(ctx context.Context, names []string) ([]AblationResul
 		func(ctx context.Context, i int) error {
 			vr := variants[i/len(sel)]
 			w := sel[i%len(sel)]
-			res, err := r.cache().Run(ctx, w.FullSource(), isa.BranchReg, w.Input, vr.o)
+			res, err := r.cache().Exec(ctx, driver.Request{
+				Source: w.FullSource(), Kind: isa.BranchReg, Input: w.Input, Options: vr.o})
 			if err != nil {
 				return fmt.Errorf("exp: %s under %s: %w", w.Name, vr.name, err)
 			}

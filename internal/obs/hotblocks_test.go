@@ -26,7 +26,7 @@ func profiledRun(t *testing.T, name string, kind isa.Kind) (*isa.Program, *emu.B
 		t.Fatal(err)
 	}
 	prof := emu.NewBlockProfile(len(p.Text))
-	res, err := driver.RunProgramWith(context.Background(), p, w.Input, driver.RunConfig{Profile: prof})
+	res, err := driver.Exec(context.Background(), driver.Request{Program: p, Input: w.Input, Profile: prof})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,225 @@
+// Package serve is the multi-tenant compile-and-run service: an HTTP/JSON
+// front end over the unified driver.Request API. One POST carries MC
+// source (or a named suite workload), a target machine, compile options,
+// stdin, an engine selection, and a step budget; the response carries the
+// program's output, dynamic stats, fusion and engine metadata, any typed
+// trap, and where the request's wall clock went (queue, compile, run).
+//
+// The server adds what a long-running service needs on top of driver.Exec:
+// worker-sharded admission with bounded queues and 429 backpressure,
+// coalescing of identical in-flight requests (keyed on
+// driver.Request.Fingerprint), per-tenant step budgets enforced through
+// the emulator's TrapStepBudget machinery, /metrics and /healthz backed by
+// internal/obs, and graceful drain for SIGTERM handling. loadgen.go holds
+// the load-generator core shared by cmd/brload and benchrecord -serve.
+package serve
+
+import (
+	"fmt"
+
+	"branchreg/internal/driver"
+	"branchreg/internal/emu"
+	"branchreg/internal/isa"
+	"branchreg/internal/workloads"
+)
+
+// RunRequest is the POST /v1/run request body.
+type RunRequest struct {
+	// Source is the MC program to compile and run. Mutually exclusive
+	// with Workload.
+	Source string `json:"source,omitempty"`
+	// Workload names a program from the built-in 19-workload suite; its
+	// source, canonical input, and output hint are filled in server-side.
+	Workload string `json:"workload,omitempty"`
+	// Machine selects the target: "baseline" or "branchreg" (aliases
+	// "brm", "bq"); empty means "branchreg".
+	Machine string `json:"machine,omitempty"`
+	// Input overrides the program's stdin. For a Workload request a nil
+	// Input keeps the workload's canonical input; an explicit empty
+	// string clears it.
+	Input *string `json:"input,omitempty"`
+	// Engine selects the emulator loop: "auto" (default), "fused",
+	// "fast", or "step".
+	Engine string `json:"engine,omitempty"`
+	// Tenant names the caller for per-tenant step-budget caps.
+	Tenant string `json:"tenant,omitempty"`
+	// StepBudget bounds the run's instruction count. Zero asks for the
+	// server default; the effective budget is clamped to the tenant's cap.
+	StepBudget int64 `json:"step_budget,omitempty"`
+	// Options overrides individual compile options over the defaults.
+	Options *OptionsSpec `json:"options,omitempty"`
+}
+
+// OptionsSpec is the JSON form of driver.Options: every field is a
+// pointer, nil meaning "keep the default". It deliberately exposes the
+// knobs the paper's experiments sweep.
+type OptionsSpec struct {
+	AlignWords   *int  `json:"align_words,omitempty"`
+	BranchRegs   *int  `json:"branch_regs,omitempty"`
+	FastCompare  *bool `json:"fast_compare,omitempty"`
+	Hoist        *bool `json:"hoist,omitempty"`
+	ReplaceNoops *bool `json:"replace_noops,omitempty"`
+	Schedule     *bool `json:"schedule,omitempty"`
+	LICM         *bool `json:"licm,omitempty"`
+}
+
+// apply overlays the non-nil fields on o.
+func (s *OptionsSpec) apply(o *driver.Options) {
+	if s == nil {
+		return
+	}
+	if s.AlignWords != nil {
+		o.AlignWords = *s.AlignWords
+	}
+	if s.BranchRegs != nil {
+		o.BRM.BranchRegs = *s.BranchRegs
+	}
+	if s.FastCompare != nil {
+		o.BRM.FastCompare = *s.FastCompare
+	}
+	if s.Hoist != nil {
+		o.BRM.Hoist = *s.Hoist
+	}
+	if s.ReplaceNoops != nil {
+		o.BRM.ReplaceNoops = *s.ReplaceNoops
+	}
+	if s.Schedule != nil {
+		o.BRM.Schedule = *s.Schedule
+	}
+	if s.LICM != nil {
+		o.Opt.LICM = *s.LICM
+	}
+}
+
+// Timing is the response's wall-clock breakdown in nanoseconds.
+type Timing struct {
+	QueueNS   int64 `json:"queue_ns"`
+	CompileNS int64 `json:"compile_ns"`
+	RunNS     int64 `json:"run_ns"`
+	TotalNS   int64 `json:"total_ns"`
+}
+
+// RunResponse is the POST /v1/run response body. Exactly one of Output
+// (with Status), Trap, or Error carries the outcome: a clean run returns
+// 200 with Output; a runtime trap returns 200 (or 422 for a step-budget
+// trap) with Trap set; a compile or validation failure returns 4xx with
+// Error set.
+type RunResponse struct {
+	Output       string           `json:"output,omitempty"`
+	Status       int32            `json:"status"`
+	Machine      string           `json:"machine,omitempty"`
+	Engine       string           `json:"engine,omitempty"`
+	Fusion       *emu.FusionStats `json:"fusion,omitempty"`
+	Instructions int64            `json:"instructions,omitempty"`
+	Transfers    int64            `json:"transfers,omitempty"`
+	DataRefs     int64            `json:"data_refs,omitempty"`
+	Trap         *emu.Trap        `json:"trap,omitempty"`
+	Error        string           `json:"error,omitempty"`
+	// Coalesced marks a response served from another identical in-flight
+	// request's execution.
+	Coalesced bool    `json:"coalesced,omitempty"`
+	Timing    *Timing `json:"timing,omitempty"`
+}
+
+// WorkloadInfo is one element of the GET /v1/workloads listing.
+type WorkloadInfo struct {
+	Name        string `json:"name"`
+	Class       string `json:"class"`
+	Description string `json:"description"`
+}
+
+// httpError carries a status code out of request building.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: 400, msg: fmt.Sprintf(format, args...)}
+}
+
+// parseMachine maps the wire name to an isa.Kind.
+func parseMachine(s string) (isa.Kind, error) {
+	switch s {
+	case "", "branchreg", "brm":
+		return isa.BranchReg, nil
+	case "baseline":
+		return isa.Baseline, nil
+	}
+	return 0, badRequest("unknown machine %q (want baseline or branchreg)", s)
+}
+
+// parseEngine maps the wire name to an emulator loop mode.
+func parseEngine(s string) (emu.LoopMode, error) {
+	switch s {
+	case "", "auto":
+		return emu.LoopAuto, nil
+	case "fused":
+		return emu.LoopFused, nil
+	case "fast":
+		return emu.LoopFast, nil
+	case "step", "instrumented":
+		return emu.LoopInstrumented, nil
+	}
+	return 0, badRequest("unknown engine %q (want auto, fused, fast, or step)", s)
+}
+
+// buildRequest translates the wire request into a driver.Request,
+// applying workload lookup, option overlays, and the tenant budget
+// policy. Errors are *httpError values carrying the status to return.
+func (s *Server) buildRequest(rr *RunRequest) (driver.Request, error) {
+	req := driver.Request{Options: driver.DefaultOptions()}
+	switch {
+	case rr.Source != "" && rr.Workload != "":
+		return req, badRequest("source and workload are mutually exclusive")
+	case rr.Workload != "":
+		w, ok := workloads.ByName(rr.Workload)
+		if !ok {
+			return req, badRequest("unknown workload %q", rr.Workload)
+		}
+		req.Source = w.FullSource()
+		req.Input = w.Input
+		req.OutputHint = w.OutputHint
+	case rr.Source != "":
+		req.Source = rr.Source
+	default:
+		return req, badRequest("request needs source or workload")
+	}
+	if max := s.cfg.MaxSourceBytes; max > 0 && len(req.Source) > max {
+		return req, &httpError{code: 413, msg: fmt.Sprintf("source is %d bytes, limit %d", len(req.Source), max)}
+	}
+	if rr.Input != nil {
+		req.Input = *rr.Input
+	}
+	var err error
+	if req.Kind, err = parseMachine(rr.Machine); err != nil {
+		return req, err
+	}
+	if req.Loop, err = parseEngine(rr.Engine); err != nil {
+		return req, err
+	}
+	rr.Options.apply(&req.Options)
+	if rr.StepBudget < 0 {
+		return req, badRequest("step_budget must be >= 0, got %d", rr.StepBudget)
+	}
+	budget := rr.StepBudget
+	if budget == 0 {
+		budget = s.cfg.DefaultStepBudget
+	}
+	if cap := s.tenantCap(rr.Tenant); cap > 0 && (budget == 0 || budget > cap) {
+		budget = cap
+	}
+	req.MaxInstructions = budget
+	return req, nil
+}
+
+// tenantCap returns the step-budget ceiling for a tenant: its entry in
+// TenantBudgets if present, else the global MaxStepBudget (0 = uncapped).
+func (s *Server) tenantCap(tenant string) int64 {
+	if cap, ok := s.cfg.TenantBudgets[tenant]; ok {
+		return cap
+	}
+	return s.cfg.MaxStepBudget
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"branchreg/internal/isa"
+	"branchreg/internal/workloads"
+)
+
+// LoadSpec configures one load-generation run against a brserve
+// endpoint: Clients concurrent workers sweep the built-in workload
+// suite on both machines, round-robin, until Requests successful
+// responses have been collected. 429 answers are retried with backoff
+// and counted, not failed.
+type LoadSpec struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// Clients is the number of concurrent requesters (default 8).
+	Clients int
+	// Requests is the total number of successful responses to collect
+	// across all clients (default 2 × the workload matrix).
+	Requests int
+	// Machines restricts the sweep (default: baseline and branchreg).
+	Machines []string
+	// Tenant is sent on every request.
+	Tenant string
+	// Verify, when set, is called with every 200 response; an error
+	// counts as a failure. Use it for the differential oracle.
+	Verify func(workload, machine string, resp *RunResponse) error
+	// Client overrides the HTTP client (default: http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadFailure records one failed request for diagnosis.
+type LoadFailure struct {
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	Code     int    `json:"code,omitempty"`
+	Err      string `json:"err"`
+}
+
+// LoadResult aggregates one load run.
+type LoadResult struct {
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	Server5xx  int     `json:"server_5xx"`
+	Retries429 int     `json:"retries_429"`
+	Coalesced  int     `json:"coalesced"`
+	P50NS      int64   `json:"p50_ns"`
+	P99NS      int64   `json:"p99_ns"`
+	WallNS     int64   `json:"wall_ns"`
+	ReqPerSec  float64 `json:"req_s"`
+	// Failures holds the first few failed requests (capped) so a failing
+	// run is diagnosable from the result alone.
+	Failures []LoadFailure `json:"failures,omitempty"`
+}
+
+// loadCell is one (workload, machine) matrix cell.
+type loadCell struct {
+	workload string
+	machine  string
+}
+
+// loadMatrix builds the request matrix for a spec.
+func loadMatrix(spec *LoadSpec) []loadCell {
+	machines := spec.Machines
+	if len(machines) == 0 {
+		machines = []string{isa.Baseline.String(), isa.BranchReg.String()}
+	}
+	var cells []loadCell
+	for _, w := range workloads.All() {
+		for _, m := range machines {
+			cells = append(cells, loadCell{workload: w.Name, machine: m})
+		}
+	}
+	return cells
+}
+
+// RunLoad drives the load described by spec and aggregates latencies.
+// It returns an error only for setup problems (an unreachable server);
+// request-level failures are reported in the result.
+func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
+	if spec.Clients <= 0 {
+		spec.Clients = 8
+	}
+	cells := loadMatrix(&spec)
+	if spec.Requests <= 0 {
+		spec.Requests = 2 * len(cells)
+	}
+	client := spec.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	// Fail fast if the server is not there at all.
+	hc, err := client.Get(spec.BaseURL + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("serve: load target unreachable: %w", err)
+	}
+	io.Copy(io.Discard, hc.Body)
+	hc.Body.Close()
+
+	var (
+		next      atomic.Int64 // next matrix index to issue
+		done      atomic.Int64 // successful responses collected
+		retries   atomic.Int64
+		coalesced atomic.Int64
+		server5xx atomic.Int64
+
+		mu        sync.Mutex
+		latencies []int64
+		failures  []LoadFailure
+	)
+	const maxFailures = 16
+	fail := func(c loadCell, code int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(failures) < maxFailures {
+			failures = append(failures, LoadFailure{Workload: c.workload, Machine: c.machine, Code: code, Err: err.Error()})
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCount := atomic.Int64{}
+	for g := 0; g < spec.Clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := next.Add(1) - 1
+				if int(i) >= spec.Requests {
+					return
+				}
+				c := cells[int(i)%len(cells)]
+				lat, resp, code, err := issueOne(ctx, client, spec.BaseURL, spec.Tenant, c, &retries)
+				if err != nil {
+					errCount.Add(1)
+					if code >= 500 {
+						server5xx.Add(1)
+					}
+					fail(c, code, err)
+					done.Add(1)
+					continue
+				}
+				if resp.Coalesced {
+					coalesced.Add(1)
+				}
+				if spec.Verify != nil {
+					if verr := spec.Verify(c.workload, c.machine, resp); verr != nil {
+						errCount.Add(1)
+						fail(c, code, verr)
+						done.Add(1)
+						continue
+					}
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &LoadResult{
+		Requests:   int(done.Load()),
+		Errors:     int(errCount.Load()),
+		Server5xx:  int(server5xx.Load()),
+		Retries429: int(retries.Load()),
+		Coalesced:  int(coalesced.Load()),
+		WallNS:     time.Since(start).Nanoseconds(),
+		Failures:   failures,
+	}
+	if res.WallNS > 0 {
+		res.ReqPerSec = float64(res.Requests) / (float64(res.WallNS) / 1e9)
+	}
+	res.P50NS, res.P99NS = percentiles(latencies)
+	return res, ctx.Err()
+}
+
+// issueOne posts one workload run, retrying 429s with linear backoff.
+// The returned latency covers the final (non-429) attempt only.
+func issueOne(ctx context.Context, client *http.Client, base, tenant string, c loadCell, retries *atomic.Int64) (int64, *RunResponse, int, error) {
+	body, err := json.Marshal(&RunRequest{Workload: c.workload, Machine: c.machine, Tenant: tenant})
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/run", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		t0 := time.Now()
+		hr, err := client.Do(req)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		lat := time.Since(t0).Nanoseconds()
+		raw, err := io.ReadAll(hr.Body)
+		hr.Body.Close()
+		if err != nil {
+			return 0, nil, hr.StatusCode, err
+		}
+		if hr.StatusCode == 429 {
+			retries.Add(1)
+			select {
+			case <-ctx.Done():
+				return 0, nil, 429, ctx.Err()
+			case <-time.After(time.Duration(min(attempt+1, 20)) * 5 * time.Millisecond):
+			}
+			continue
+		}
+		var resp RunResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return 0, nil, hr.StatusCode, fmt.Errorf("bad response body (HTTP %d): %w", hr.StatusCode, err)
+		}
+		if hr.StatusCode != 200 {
+			return 0, nil, hr.StatusCode, fmt.Errorf("HTTP %d: %s", hr.StatusCode, resp.Error)
+		}
+		if resp.Trap != nil {
+			return 0, nil, hr.StatusCode, fmt.Errorf("unexpected trap: %v", resp.Trap)
+		}
+		return lat, &resp, hr.StatusCode, nil
+	}
+}
+
+// percentiles returns the p50 and p99 of the sample set (0,0 if empty).
+func percentiles(ns []int64) (p50, p99 int64) {
+	if len(ns) == 0 {
+		return 0, 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(ns)-1))
+		return ns[i]
+	}
+	return at(0.50), at(0.99)
+}

@@ -1,0 +1,434 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"branchreg/internal/driver"
+	"branchreg/internal/emu"
+	"branchreg/internal/obs"
+	"branchreg/internal/workloads"
+)
+
+// Config sizes and scopes a Server. The zero value is usable: New fills
+// every unset field with the documented default.
+type Config struct {
+	// Workers is the number of execution goroutines across all shards
+	// (default: GOMAXPROCS).
+	Workers int
+	// Shards is the number of admission shards; requests hash to a shard
+	// by fingerprint (default: min(Workers, 4), at least 1).
+	Shards int
+	// QueueDepth is the total queued-job capacity across shards
+	// (default: 4 × Workers). A full shard queue answers 429.
+	QueueDepth int
+	// MaxSourceBytes rejects larger programs with 413 (default: 1 MiB;
+	// negative disables the limit).
+	MaxSourceBytes int
+	// DefaultStepBudget is the instruction budget applied when a request
+	// names none (default: 0, meaning the emulator's own default budget).
+	DefaultStepBudget int64
+	// MaxStepBudget caps every request's budget (0 = uncapped);
+	// TenantBudgets overrides the cap per tenant name. A request asking
+	// for more than its tenant's cap is clamped, so overruns surface as
+	// TrapStepBudget at the cap — HTTP 422.
+	MaxStepBudget int64
+	TenantBudgets map[string]int64
+	// JobTimeout bounds one execution's wall clock (default: 2 minutes).
+	// An expired job answers 408.
+	JobTimeout time.Duration
+	// Cache supplies the compile cache (default: a fresh private cache).
+	Cache *driver.Cache
+	// Metrics supplies the registry serve records into (default:
+	// obs.Default).
+	Metrics *obs.Registry
+}
+
+// serveMetrics holds the resolved metric handles so the request path
+// pays one atomic op per event, never a registry lookup.
+type serveMetrics struct {
+	requests  *obs.Counter
+	ok        *obs.Counter
+	coalesced *obs.Counter
+	queueFull *obs.Counter
+	draining  *obs.Counter
+	badReq    *obs.Counter
+	traps     *obs.Counter
+	budget    *obs.Counter
+	timeouts  *obs.Counter
+	internal  *obs.Counter
+	inflight  *obs.Gauge
+	queueWait *obs.Histogram
+	totalNS   *obs.Histogram
+}
+
+func newServeMetrics(r *obs.Registry) serveMetrics {
+	return serveMetrics{
+		requests:  r.Counter("serve.requests"),
+		ok:        r.Counter("serve.ok"),
+		coalesced: r.Counter("serve.coalesced"),
+		queueFull: r.Counter("serve.rejected.queue_full"),
+		draining:  r.Counter("serve.rejected.draining"),
+		badReq:    r.Counter("serve.rejected.bad_request"),
+		traps:     r.Counter("serve.traps"),
+		budget:    r.Counter("serve.traps.step_budget"),
+		timeouts:  r.Counter("serve.timeouts"),
+		internal:  r.Counter("serve.errors.internal"),
+		inflight:  r.Gauge("serve.inflight"),
+		queueWait: r.Histogram("serve.queue_wait_ns"),
+		totalNS:   r.Histogram("serve.total_ns"),
+	}
+}
+
+// job is one admitted execution. The admitting handler creates it, the
+// shard worker fills res/err and closes done, and every handler waiting
+// on the same fingerprint (the coalesced followers) reads the shared
+// result.
+type job struct {
+	req     driver.Request
+	fp      string
+	enq     time.Time
+	queueNS int64
+	res     *driver.Result
+	err     error
+	done    chan struct{}
+}
+
+// shard is one admission lane: a bounded queue plus the in-flight table
+// used for coalescing. Hashing fingerprints across shards keeps the
+// inflight maps' lock contention bounded as workers scale.
+type shard struct {
+	mu       sync.Mutex
+	closed   bool
+	queue    chan *job
+	inflight map[string]*job
+}
+
+// Server is the compile-and-run service. Create with New, expose via
+// ServeHTTP (it is an http.Handler), stop with Drain.
+type Server struct {
+	cfg      Config
+	cache    *driver.Cache
+	m        serveMetrics
+	mux      *http.ServeMux
+	shards   []*shard
+	workers  sync.WaitGroup
+	draining atomic.Bool
+	running  atomic.Int64
+	start    time.Time
+
+	// gate, when non-nil, is received from before each job executes —
+	// a test hook that makes queue-full behavior deterministic.
+	gate chan struct{}
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = min(cfg.Workers, 4)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.MaxSourceBytes == 0 {
+		cfg.MaxSourceBytes = 1 << 20
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = 2 * time.Minute
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = driver.NewCache()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cfg.Cache,
+		m:     newServeMetrics(cfg.Metrics),
+		start: time.Now(),
+	}
+	perShard := max(1, cfg.QueueDepth/cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, &shard{
+			queue:    make(chan *job, perShard),
+			inflight: map[string]*job{},
+		})
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		sh := s.shards[i%len(s.shards)]
+		s.workers.Add(1)
+		go s.worker(sh)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops admission (new runs answer 503), lets queued jobs finish,
+// and waits for the workers — or for ctx, whichever comes first.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil // second drain is a no-op
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		close(sh.queue)
+		sh.mu.Unlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with jobs still running: %w", ctx.Err())
+	}
+}
+
+// shardFor hashes a fingerprint to its admission shard.
+func (s *Server) shardFor(fp string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(fp))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// errInternal marks a worker panic: the only path to a 500.
+var errInternal = errors.New("internal error")
+
+// worker executes jobs from one shard's queue until Drain closes it.
+func (s *Server) worker(sh *shard) {
+	defer s.workers.Done()
+	for j := range sh.queue {
+		if s.gate != nil {
+			<-s.gate
+		}
+		j.queueNS = time.Since(j.enq).Nanoseconds()
+		s.m.queueWait.Observe(j.queueNS)
+		s.m.inflight.Set(s.running.Add(1))
+		j.res, j.err = s.execJob(j)
+		s.m.inflight.Set(s.running.Add(-1))
+		// Remove from the coalescing table before publishing: an
+		// identical request arriving after done closes must start a
+		// fresh execution, never read a completed slot.
+		sh.mu.Lock()
+		delete(sh.inflight, j.fp)
+		sh.mu.Unlock()
+		close(j.done)
+	}
+}
+
+// execJob runs one job under the configured timeout, converting panics
+// into errInternal so a compiler or emulator bug costs one 500, not the
+// process.
+func (s *Server) execJob(j *job) (res *driver.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: panic: %v", errInternal, p)
+		}
+	}()
+	ctx := context.Background()
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	return s.cache.Exec(ctx, j.req)
+}
+
+// handleRun is POST /v1/run: decode, admit (coalesce / enqueue / 429),
+// wait, respond.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	start := time.Now()
+	limit := int64(1 << 20)
+	if s.cfg.MaxSourceBytes > 0 {
+		limit = int64(s.cfg.MaxSourceBytes) + 64*1024 // headroom for JSON framing
+	}
+	var rr RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(&rr); err != nil {
+		s.m.badReq.Inc()
+		writeJSON(w, 400, &RunResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	req, err := s.buildRequest(&rr)
+	if err != nil {
+		s.m.badReq.Inc()
+		he := &httpError{code: 400, msg: err.Error()}
+		errors.As(err, &he)
+		writeJSON(w, he.code, &RunResponse{Error: he.msg, Machine: rr.Machine})
+		return
+	}
+
+	if s.draining.Load() {
+		s.m.draining.Inc()
+		writeJSON(w, 503, &RunResponse{Error: "server is draining"})
+		return
+	}
+	fp := req.Fingerprint()
+	sh := s.shardFor(fp)
+
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		s.m.draining.Inc()
+		writeJSON(w, 503, &RunResponse{Error: "server is draining"})
+		return
+	}
+	j, coalesced := sh.inflight[fp]
+	if coalesced {
+		s.m.coalesced.Inc()
+	} else {
+		j = &job{req: req, fp: fp, enq: time.Now(), done: make(chan struct{})}
+		select {
+		case sh.queue <- j:
+			sh.inflight[fp] = j
+		default:
+			sh.mu.Unlock()
+			s.m.queueFull.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, 429, &RunResponse{Error: "queue full, retry later"})
+			return
+		}
+	}
+	sh.mu.Unlock()
+
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The client went away; the job keeps running for any coalesced
+		// followers and for the cache's benefit.
+		return
+	}
+	s.respond(w, &req, j, coalesced, start)
+}
+
+// respond classifies one finished job onto the wire. Status mapping:
+// clean run and non-budget runtime traps are 200 (the service worked;
+// the trap is the program's outcome, reported as data), a step-budget
+// trap is 422 (the tenant exceeded its allowance), compile and
+// validation failures are 400, a timed-out job is 408, and a worker
+// panic is the only 500.
+func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, coalesced bool, start time.Time) {
+	resp := &RunResponse{
+		Machine:   req.Kind.String(),
+		Coalesced: coalesced,
+		Timing:    &Timing{QueueNS: j.queueNS, TotalNS: time.Since(start).Nanoseconds()},
+	}
+	totalObserved := func() { s.m.totalNS.Observe(resp.Timing.TotalNS) }
+	if j.err == nil {
+		res := j.res
+		resp.Output = res.Output
+		resp.Status = res.Status
+		resp.Engine = res.Engine
+		if res.Engine == emu.EngineFused {
+			f := res.Fusion
+			resp.Fusion = &f
+		}
+		resp.Instructions = res.Stats.Instructions
+		resp.Transfers = res.Stats.Transfers()
+		resp.DataRefs = res.Stats.DataRefs()
+		resp.Timing.CompileNS = res.Timing.CompileNS
+		resp.Timing.RunNS = res.Timing.RunNS
+		s.m.ok.Inc()
+		totalObserved()
+		writeJSON(w, 200, resp)
+		return
+	}
+	var trap *emu.Trap
+	switch {
+	case errors.As(j.err, &trap):
+		resp.Trap = trap
+		if trap.Kind == emu.TrapStepBudget {
+			s.m.budget.Inc()
+			totalObserved()
+			writeJSON(w, 422, resp)
+			return
+		}
+		s.m.traps.Inc()
+		totalObserved()
+		writeJSON(w, 200, resp)
+	case errors.Is(j.err, errInternal):
+		s.m.internal.Inc()
+		resp.Error = j.err.Error()
+		totalObserved()
+		writeJSON(w, 500, resp)
+	case errors.Is(j.err, context.DeadlineExceeded):
+		s.m.timeouts.Inc()
+		resp.Error = fmt.Sprintf("job exceeded the %s execution timeout", s.cfg.JobTimeout)
+		totalObserved()
+		writeJSON(w, 408, resp)
+	default:
+		// Everything else the driver can return is a compile or
+		// validation failure — the client's program, not the service.
+		s.m.badReq.Inc()
+		resp.Error = j.err.Error()
+		totalObserved()
+		writeJSON(w, 400, resp)
+	}
+}
+
+// handleWorkloads lists the built-in suite.
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	var out []WorkloadInfo
+	for _, wl := range workloads.All() {
+		out = append(out, WorkloadInfo{Name: wl.Name, Class: wl.Class, Description: wl.Description})
+	}
+	writeJSON(w, 200, out)
+}
+
+// handleHealth is the liveness/readiness probe: 200 while serving, 503
+// once draining.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", 503)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// MetricsReply is the GET /metrics body: the obs registry snapshot plus
+// the compile cache's counters and the server's uptime.
+type MetricsReply struct {
+	UptimeSeconds float64           `json:"uptime_s"`
+	Cache         driver.CacheStats `json:"cache"`
+	Metrics       obs.Snapshot      `json:"metrics"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, 200, &MetricsReply{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         s.cache.Stats(),
+		Metrics:       s.cfg.Metrics.Snapshot(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

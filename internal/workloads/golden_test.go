@@ -54,7 +54,7 @@ func TestGoldenOutputsPinned(t *testing.T) {
 			if !ok {
 				t.Fatalf("no golden entry for %s", w.Name)
 			}
-			res, err := driver.Run(context.Background(), w.FullSource(), isa.BranchReg, w.Input, o)
+			res, err := driver.Exec(context.Background(), driver.Request{Source: w.FullSource(), Kind: isa.BranchReg, Input: w.Input, Options: o})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -64,7 +64,7 @@ func TestWorkloadsDifferential(t *testing.T) {
 				t.Errorf("%s produces no output", w.Name)
 			}
 			for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
-				res, err := driver.Run(context.Background(), src, kind, w.Input, o)
+				res, err := driver.Exec(context.Background(), driver.Request{Source: src, Kind: kind, Input: w.Input, Options: o})
 				if err != nil {
 					t.Fatalf("%v: %v", kind, err)
 				}
@@ -93,7 +93,7 @@ func TestGoldenOutputs(t *testing.T) {
 		if !ok {
 			t.Fatalf("no workload %s", name)
 		}
-		res, err := driver.Run(context.Background(), w.FullSource(), isa.BranchReg, w.Input, o)
+		res, err := driver.Exec(context.Background(), driver.Request{Source: w.FullSource(), Kind: isa.BranchReg, Input: w.Input, Options: o})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

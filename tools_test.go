@@ -335,6 +335,53 @@ func TestBenchTrajectoryParses(t *testing.T) {
 	}
 }
 
+// TestBenchServeTrajectoryParses guards the committed service-throughput
+// trajectory: BENCH_serve.json must stay parseable with the schema
+// `benchrecord -serve` writes and carry sane latency and throughput in
+// every entry.
+func TestBenchServeTrajectoryParses(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_serve.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Schema  int    `json:"schema"`
+		Tool    string `json:"tool"`
+		Entries []struct {
+			Commit    string  `json:"commit"`
+			Date      string  `json:"date"`
+			Clients   int     `json:"clients"`
+			Requests  int     `json:"requests"`
+			P50Millis float64 `json:"p50_ms"`
+			P99Millis float64 `json:"p99_ms"`
+			ReqPerSec float64 `json:"req_s"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("BENCH_serve.json is invalid: %v", err)
+	}
+	if f.Schema != 1 {
+		t.Errorf("schema = %d, want 1", f.Schema)
+	}
+	if len(f.Entries) == 0 {
+		t.Fatal("no entries")
+	}
+	for i, e := range f.Entries {
+		if e.Commit == "" || e.Date == "" {
+			t.Errorf("entry %d missing commit/date: %+v", i, e)
+		}
+		if e.Clients <= 0 || e.Requests <= 0 {
+			t.Errorf("entry %d: clients/requests = %d/%d", i, e.Clients, e.Requests)
+		}
+		if e.P50Millis <= 0 || e.P99Millis < e.P50Millis {
+			t.Errorf("entry %d: latency percentiles not sane: p50=%v p99=%v", i, e.P50Millis, e.P99Millis)
+		}
+		if e.ReqPerSec <= 0 {
+			t.Errorf("entry %d: throughput = %v req/s", i, e.ReqPerSec)
+		}
+	}
+}
+
 func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tool test")
