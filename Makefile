@@ -6,7 +6,10 @@
 # singleflight) and the four-tier engine differential with race checking
 # enabled — plus a short coverage-guided fuzz smoke over the differential
 # fuzzers (including fused-vs-fast) and the fault injector (trap or clean
-# exit, never a panic), plus the benchmark gate (emulator throughput must
+# exit, never a panic), plus the chaos smoke (brserve under a seeded
+# fault plan must keep every response byte-correct through engine-tier
+# fallback while its breaker demonstrably opens and closes), plus the
+# benchmark gate (emulator throughput must
 # stay within BENCH_REGRESS percent of the last committed
 # BENCH_emulator.json entry — the profiling hooks in the fast loops are
 # budgeted, not assumed, cheap).
@@ -20,7 +23,7 @@ FUZZTIME ?= 10s
 # cache breakage) cost well over 10%.
 BENCH_REGRESS ?= 8.0
 
-.PHONY: all build test vet race fuzz-smoke generate generate-check check bench bench-all bench-gate bench-serve serve-smoke
+.PHONY: all build test vet race fuzz-smoke generate generate-check check bench bench-all bench-gate bench-serve serve-smoke chaos-smoke
 
 all: build
 
@@ -53,7 +56,7 @@ generate:
 generate-check:
 	$(GO) run ./internal/emu/gen -dir internal/emu -check
 
-check: vet generate-check race fuzz-smoke serve-smoke bench-gate
+check: vet generate-check race fuzz-smoke serve-smoke chaos-smoke bench-gate
 
 # Boot brserve on a loopback port, drive a brief differential-verified
 # load with brload, and fail on any error, 5xx, or output divergence.
@@ -68,6 +71,27 @@ serve-smoke:
 	/tmp/brload-smoke -url http://$(SMOKE_ADDR) -c 16 -n 76; rc=$$?; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -f /tmp/brserve-smoke /tmp/brload-smoke; \
+	exit $$rc
+
+# Boot brserve with a seeded chaos plan (every fused execution of the
+# sieve classes panics, eight panics total), drive a differential
+# brload burst, then audit the supervision layer: every response must
+# stay byte-correct via fallback, the breaker must open AND close, the
+# incident log must show the injected events and zero shadow
+# mismatches, and no request may see an unexplained 5xx.
+CHAOS_ADDR ?= 127.0.0.1:8398
+CHAOS_PLAN ?= seed=7,target=sieve,panic-every=1,panic-max=8
+chaos-smoke:
+	@$(GO) build -o /tmp/brserve-chaos ./cmd/brserve
+	@$(GO) build -o /tmp/brload-chaos ./cmd/brload
+	@/tmp/brserve-chaos -addr $(CHAOS_ADDR) -chaos "$(CHAOS_PLAN)" \
+		-breaker-threshold 3 -breaker-cooldown 250ms -shadow-rate 4 & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://$(CHAOS_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	/tmp/brload-chaos -url http://$(CHAOS_ADDR) -c 16 -n 304 -max-backoff 25ms -chaos; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -f /tmp/brserve-chaos /tmp/brload-chaos; \
 	exit $$rc
 
 # Run the throughput benchmarks at a fixed -benchtime and append an entry

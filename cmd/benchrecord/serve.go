@@ -88,6 +88,10 @@ func measureServe(oracle *serve.DifferentialOracle, clients, requests int, label
 		Clients:  clients,
 		Requests: requests,
 		Verify:   oracle.Verify,
+		// Keep retry sleeps short: this run measures saturation
+		// throughput, and honoring the server's full Retry-After would
+		// benchmark the backoff policy instead.
+		MaxBackoff: 20 * time.Millisecond,
 	})
 	if err != nil {
 		return nil, err

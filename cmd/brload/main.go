@@ -6,10 +6,18 @@
 // Usage:
 //
 //	brload [-url http://127.0.0.1:8377] [-c 64] [-n requests] [-tenant t]
-//	       [-no-verify] [-json]
+//	       [-no-verify] [-json] [-max-backoff 1s]
+//	       [-chaos] [-chaos-probe sieve] [-chaos-timeout 30s]
+//
+// With -chaos, after the load run brload audits the server's supervision
+// layer (see serve.ChaosCheck): panics must have been injected and
+// rescued, the circuit breaker must have opened and closed, and the
+// incident log must show no shadow mismatches. Use against a brserve
+// booted with a -chaos plan.
 //
 // The exit status is nonzero if any request failed, any response was a
-// 5xx, or any output diverged from the local oracle.
+// 5xx, any output diverged from the local oracle, or the -chaos audit
+// failed.
 package main
 
 import (
@@ -32,13 +40,18 @@ func main() {
 	tenant := flag.String("tenant", "", "tenant name sent with every request")
 	noVerify := flag.Bool("no-verify", false, "skip the local differential oracle")
 	asJSON := flag.Bool("json", false, "print the result as JSON")
+	maxBackoff := flag.Duration("max-backoff", 0, "cap one 429/503 retry sleep (0 = default 1s)")
+	chaosAudit := flag.Bool("chaos", false, "audit the server's supervision layer after the run")
+	chaosProbe := flag.String("chaos-probe", "sieve", "workload probed while waiting for the breaker to close")
+	chaosTimeout := flag.Duration("chaos-timeout", 30*time.Second, "max wait for the chaos audit's counters")
 	flag.Parse()
 
 	spec := serve.LoadSpec{
-		BaseURL:  *url,
-		Clients:  *clients,
-		Requests: *requests,
-		Tenant:   *tenant,
+		BaseURL:    *url,
+		Clients:    *clients,
+		Requests:   *requests,
+		Tenant:     *tenant,
+		MaxBackoff: *maxBackoff,
 	}
 	if spec.Requests <= 0 {
 		spec.Requests = 8 * 19 * 2 // eight sweeps of the workload × machine matrix
@@ -63,7 +76,7 @@ func main() {
 	} else {
 		fmt.Printf("requests   %d (%d clients)\n", res.Requests, spec.Clients)
 		fmt.Printf("errors     %d (5xx: %d)\n", res.Errors, res.Server5xx)
-		fmt.Printf("429 retries %d, coalesced %d\n", res.Retries429, res.Coalesced)
+		fmt.Printf("retries    429: %d, 503: %d, coalesced %d\n", res.Retries429, res.Retries503, res.Coalesced)
 		fmt.Printf("latency    p50 %s, p99 %s\n",
 			time.Duration(res.P50NS), time.Duration(res.P99NS))
 		fmt.Printf("throughput %.1f req/s over %s\n",
@@ -72,7 +85,17 @@ func main() {
 			fmt.Printf("  FAIL %s/%s (HTTP %d): %s\n", f.Workload, f.Machine, f.Code, f.Err)
 		}
 	}
+	rc := 0
 	if res.Errors > 0 || res.Server5xx > 0 {
-		os.Exit(1)
+		rc = 1
 	}
+	if *chaosAudit {
+		if err := serve.ChaosCheck(ctx, *url, *chaosProbe, nil, *chaosTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, "brload:", err)
+			rc = 1
+		} else {
+			fmt.Println("chaos      supervision audit passed (fallback, breaker open/close, no shadow mismatch)")
+		}
+	}
+	os.Exit(rc)
 }

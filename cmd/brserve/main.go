@@ -6,8 +6,11 @@
 //
 //	brserve [-addr :8377] [-workers N] [-queue N] [-budget N] [-max-budget N]
 //	        [-tenant-budgets name=N,name=N] [-timeout 2m]
+//	        [-breaker-threshold N] [-breaker-cooldown 30s] [-shadow-rate N]
+//	        [-incident-cap N] [-chaos "seed=7,target=sieve,panic-every=1,panic-max=8"]
 //
-// Endpoints: POST /v1/run, GET /v1/workloads, GET /healthz, GET /metrics.
+// Endpoints: POST /v1/run, GET /v1/workloads, GET /v1/incidents,
+// GET /healthz, GET /metrics.
 // SIGINT/SIGTERM starts a graceful drain: admission answers 503, queued
 // jobs finish, then the process exits.
 package main
@@ -36,11 +39,23 @@ func main() {
 	tenants := flag.String("tenant-budgets", "", "per-tenant step-budget caps, name=N,name=N")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job execution timeout")
 	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive tier failures that open a circuit breaker (0 = default 3)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "quarantine before a breaker half-opens (0 = default 30s)")
+	shadowRate := flag.Int("shadow-rate", 0, "shadow-verify every Nth success per class (0 = default 32, negative = off)")
+	incidentCap := flag.Int("incident-cap", 0, "incidents retained for /v1/incidents (0 = default 256)")
+	chaosFlag := flag.String("chaos", "", `deterministic chaos plan, e.g. "seed=7,target=sieve,panic-every=1,panic-max=8"`)
 	flag.Parse()
 
 	tb, err := parseTenantBudgets(*tenants)
 	if err != nil {
 		fatal(err)
+	}
+	chaosPlan, err := serve.ParseChaosPlan(*chaosFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if chaosPlan != nil {
+		fmt.Fprintf(os.Stderr, "brserve: CHAOS ACTIVE: %+v\n", *chaosPlan)
 	}
 	s := serve.New(serve.Config{
 		Workers:           *workers,
@@ -49,6 +64,11 @@ func main() {
 		MaxStepBudget:     *maxBudget,
 		TenantBudgets:     tb,
 		JobTimeout:        *timeout,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
+		ShadowRate:        *shadowRate,
+		IncidentCap:       *incidentCap,
+		Chaos:             chaosPlan,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: s}

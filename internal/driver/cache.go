@@ -3,6 +3,8 @@ package driver
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
+	"fmt"
 	"sync"
 
 	"branchreg/internal/emu"
@@ -92,10 +94,32 @@ func (c *Cache) Compile(ctx context.Context, src string, kind isa.Kind, o Option
 
 	// Compile under context.Background(): the result outlives this
 	// caller, and caching a ctx.Err() would poison the entry for others.
-	e.p, e.err = Compile(context.Background(), src, kind, o)
-	close(e.done)
+	//
+	// done is closed by defer, and a compiler panic is converted into a
+	// cached error: if the panic escaped before done closed, every future
+	// waiter on this key would block forever (the singleflight wedge),
+	// turning one bad program into a stuck server.
+	func() {
+		defer close(e.done)
+		defer func() {
+			if p := recover(); p != nil {
+				e.p, e.err = nil, fmt.Errorf("%w: %v", ErrCompilePanic, p)
+			}
+		}()
+		e.p, e.err = compileFn(context.Background(), src, kind, o)
+	}()
 	return e.p, e.err
 }
+
+// ErrCompilePanic marks a compilation that panicked instead of
+// returning: a compiler bug, cached like any other compile error so the
+// key stays usable, but distinguishable (errors.Is) so servers can
+// report it as an internal fault rather than blaming the client.
+var ErrCompilePanic = errors.New("driver: compiler panicked")
+
+// compileFn is Compile, indirected so the cache's panic-containment
+// path is testable with a deliberately panicking compiler.
+var compileFn = Compile
 
 // Run compiles src through the cache and executes it with the given stdin.
 //

@@ -2,9 +2,12 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"branchreg/internal/isa"
 )
@@ -175,5 +178,64 @@ func TestFingerprintCoversOptions(t *testing.T) {
 			t.Errorf("variant %d does not change the fingerprint: %s", i, fp)
 		}
 		seen[fp] = true
+	}
+}
+
+// TestCacheCompilePanicContained is the regression test for the
+// singleflight wedge: a panicking compiler used to escape Cache.Compile
+// before e.done was closed, so every later request for that key blocked
+// forever. The panic must instead become a cached ErrCompilePanic error
+// for the first caller, concurrent waiters, and later hits alike.
+func TestCacheCompilePanicContained(t *testing.T) {
+	orig := compileFn
+	defer func() { compileFn = orig }()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	compileFn = func(ctx context.Context, src string, kind isa.Kind, o Options) (*isa.Program, error) {
+		calls.Add(1)
+		<-release
+		panic("compiler bug")
+	}
+
+	c := NewCache()
+	o := DefaultOptions()
+	ctx := context.Background()
+
+	// A concurrent waiter joins the in-flight compilation before the
+	// panic fires; it must be released, not wedged.
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.Compile(ctx, cacheTestSrc, isa.BranchReg, o)
+		waiterErr <- err
+	}()
+	for c.Stats().Requests == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		for c.Stats().Hits == 0 { // the waiter has joined once it counts as a hit
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+	}()
+
+	if _, err := c.Compile(ctx, cacheTestSrc, isa.BranchReg, o); !errors.Is(err, ErrCompilePanic) {
+		t.Fatalf("first caller: err = %v, want ErrCompilePanic", err)
+	}
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, ErrCompilePanic) {
+			t.Fatalf("waiter: err = %v, want ErrCompilePanic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter wedged: e.done was never closed after the compile panic")
+	}
+
+	// The panic is cached like any compile error: a later request for the
+	// same key gets the error without re-invoking the compiler.
+	if _, err := c.Compile(ctx, cacheTestSrc, isa.BranchReg, o); !errors.Is(err, ErrCompilePanic) {
+		t.Fatalf("later caller: err = %v, want cached ErrCompilePanic", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compiler invoked %d times, want 1 (panic result cached)", n)
 	}
 }

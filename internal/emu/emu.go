@@ -143,9 +143,9 @@ type Machine struct {
 
 	faults *faultState // deterministic fault-injection state (nil = none)
 
-	dec     []uop   // predecoded form, built lazily by RunContext
-	fp      *fprog  // block-fused form, built lazily by RunContext
-	scratch []byte  // putf formatting buffer
+	dec     []uop  // predecoded form, built lazily by RunContext
+	fp      *fprog // block-fused form, built lazily by RunContext
+	scratch []byte // putf formatting buffer
 
 	// Fusion counts the fused engine's dynamic behavior (blocks entered,
 	// superinstruction pairs retired, hand-offs to the fast loop). It is

@@ -1,0 +1,403 @@
+// Package guard is the supervision layer between the brserve admission
+// workers and driver.Exec: it makes engine bugs survivable (engine-tier
+// fallback), detectable (online shadow differential verification), and
+// containable (per-(class, engine) circuit breakers with quarantine).
+//
+// The block-fused engine is the most aggressive — and therefore the
+// most bug-prone — execution tier. guard assumes exactly that: a
+// recovered panic in one tier transparently retries the same
+// driver.Request on the next-safer tier (fused → fast → instrumented),
+// annotating the result with the tier that actually served it. N
+// consecutive failures of a tier for one workload class open that
+// class's breaker, pinning it to the fallback tier for a cooldown with
+// half-open probing to close it again. A configurable sample of
+// successful responses is re-executed in the background on the
+// alternate engine and compared byte for byte; a mismatch is recorded
+// in a bounded incident ring and immediately quarantines the offending
+// (class, engine) pair. Everything observable is exported through
+// internal/obs under guard.fallback.*, guard.breaker.*, and
+// guard.shadow.*.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"branchreg/internal/driver"
+	"branchreg/internal/emu"
+	"branchreg/internal/obs"
+)
+
+// ExecFunc executes one request. class is the caller's workload-class
+// label (brserve passes "workload/machine" or "src:<hash>/machine");
+// the underlying driver ignores it, but wrappers — the chaos injector —
+// use it for targeting.
+type ExecFunc func(ctx context.Context, class string, req driver.Request) (*driver.Result, error)
+
+// Config sizes a Supervisor. The zero value of every field but Exec is
+// usable: New fills unset fields with the documented defaults.
+type Config struct {
+	// Exec is the underlying executor (required) — brserve passes its
+	// compile cache's Exec, optionally wrapped by the chaos injector.
+	Exec ExecFunc
+	// Threshold is the consecutive-failure count that opens a
+	// (class, tier) breaker (default 3).
+	Threshold int
+	// Cooldown is how long an open breaker skips its tier before
+	// half-open probing (default 30s).
+	Cooldown time.Duration
+	// ShadowRate samples every Nth successful execution of a class for
+	// background re-execution on the alternate engine (0 or negative
+	// disables shadowing). Sampling is a deterministic per-class counter,
+	// not a coin flip, so tests and smoke runs can predict it.
+	ShadowRate int
+	// ShadowWorkers is the number of background verification goroutines
+	// (default 1: shadow work must trickle, not compete with serving).
+	ShadowWorkers int
+	// ShadowQueue bounds the pending shadow jobs; a full queue drops the
+	// sample and counts guard.shadow.dropped (default 64).
+	ShadowQueue int
+	// ShadowTimeout bounds one shadow re-execution (default 2 minutes).
+	ShadowTimeout time.Duration
+	// IncidentCap bounds the incident ring buffer (default 256).
+	IncidentCap int
+	// Metrics supplies the registry guard records into (default obs.Default).
+	Metrics *obs.Registry
+	// Now is the clock (default time.Now) — a test hook so breaker
+	// cooldown transitions are provable without sleeping.
+	Now func() time.Time
+}
+
+// guardMetrics holds the resolved metric handles (one atomic op per
+// event on the serving path, never a registry lookup).
+type guardMetrics struct {
+	fallbackAttempts  *obs.Counter // tier failures that moved a request down the chain
+	fallbackSuccess   *obs.Counter // requests rescued by a lower tier
+	fallbackExhausted *obs.Counter // requests that failed on every tier
+	breakerOpen       *obs.Counter // closed/half-open → open transitions
+	breakerClose      *obs.Counter // half-open → closed transitions
+	breakerHalfOpen   *obs.Counter // open → half-open probe admissions
+	breakerReroute    *obs.Counter // requests skipped past a quarantined tier
+	breakerOpenNow    *obs.Gauge   // breakers currently open or half-open
+	shadowSampled     *obs.Counter
+	shadowOK          *obs.Counter
+	shadowMismatch    *obs.Counter
+	shadowError       *obs.Counter // shadow re-execution failed (not a comparison mismatch)
+	shadowDropped     *obs.Counter // sampled but queue full
+	incidents         *obs.Counter
+}
+
+func newGuardMetrics(r *obs.Registry) guardMetrics {
+	return guardMetrics{
+		fallbackAttempts:  r.Counter("guard.fallback.attempts"),
+		fallbackSuccess:   r.Counter("guard.fallback.success"),
+		fallbackExhausted: r.Counter("guard.fallback.exhausted"),
+		breakerOpen:       r.Counter("guard.breaker.open"),
+		breakerClose:      r.Counter("guard.breaker.close"),
+		breakerHalfOpen:   r.Counter("guard.breaker.half_open"),
+		breakerReroute:    r.Counter("guard.breaker.reroute"),
+		breakerOpenNow:    r.Gauge("guard.breaker.open_now"),
+		shadowSampled:     r.Counter("guard.shadow.sampled"),
+		shadowOK:          r.Counter("guard.shadow.ok"),
+		shadowMismatch:    r.Counter("guard.shadow.mismatch"),
+		shadowError:       r.Counter("guard.shadow.error"),
+		shadowDropped:     r.Counter("guard.shadow.dropped"),
+		incidents:         r.Counter("guard.incidents"),
+	}
+}
+
+// Result is a driver.Result annotated with how the supervisor obtained
+// it: the tier that actually served the request, the tiers that faulted
+// before it, and whether an open breaker rerouted the request before
+// its preferred tier was even tried.
+type Result struct {
+	*driver.Result
+	// Tier is the engine that produced the result (mirrors Result.Engine
+	// for engine-tier requests; for passthrough requests it is whatever
+	// engine the emulator chose).
+	Tier string
+	// FallbackFrom lists the tiers that faulted before the serving tier,
+	// in the order they were tried. Empty for a first-try success.
+	FallbackFrom []string
+	// Rerouted marks a request whose preferred tier was skipped because
+	// its breaker was open.
+	Rerouted bool
+}
+
+// PanicError is a recovered engine panic carried as an error: the
+// failure mode that triggers tier fallback, and — when every tier
+// fails — the error the caller finally sees.
+type PanicError struct {
+	// Tier names the engine tier that panicked.
+	Tier string
+	// Value is the recovered panic value.
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("guard: %s engine panicked: %v", e.Tier, e.Value)
+}
+
+// Supervisor wraps an ExecFunc with fallback, breakers, and shadow
+// verification. Create with New; stop the shadow workers with Close.
+type Supervisor struct {
+	cfg Config
+	m   guardMetrics
+	log *incidentLog
+	now func() time.Time
+
+	mu       sync.Mutex
+	breakers map[breakerKey]*breaker
+	shadowN  map[string]int64 // per-class sampled-execution counters
+
+	shadow *shadowPool
+}
+
+// New builds a Supervisor. It panics if cfg.Exec is nil — a supervisor
+// with nothing to supervise is a programming error, not a runtime
+// condition.
+func New(cfg Config) *Supervisor {
+	if cfg.Exec == nil {
+		panic("guard: Config.Exec is required")
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 30 * time.Second
+	}
+	if cfg.ShadowWorkers <= 0 {
+		cfg.ShadowWorkers = 1
+	}
+	if cfg.ShadowQueue <= 0 {
+		cfg.ShadowQueue = 64
+	}
+	if cfg.ShadowTimeout <= 0 {
+		cfg.ShadowTimeout = 2 * time.Minute
+	}
+	if cfg.IncidentCap <= 0 {
+		cfg.IncidentCap = 256
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Supervisor{
+		cfg:      cfg,
+		m:        newGuardMetrics(cfg.Metrics),
+		log:      newIncidentLog(cfg.IncidentCap),
+		now:      cfg.Now,
+		breakers: map[breakerKey]*breaker{},
+		shadowN:  map[string]int64{},
+	}
+	if cfg.ShadowRate > 0 {
+		s.shadow = newShadowPool(s, cfg.ShadowWorkers, cfg.ShadowQueue)
+	}
+	return s
+}
+
+// Close stops the shadow workers and waits for in-flight shadow
+// re-executions to finish. Exec must not be called after Close.
+func (s *Supervisor) Close() {
+	if s.shadow != nil {
+		s.shadow.close()
+	}
+}
+
+// Incidents returns a snapshot of the incident ring, newest first, and
+// the total number of incidents ever recorded (recorded − len(snapshot)
+// have been evicted from the bounded ring).
+func (s *Supervisor) Incidents() ([]Incident, int64) { return s.log.snapshot() }
+
+// tierName maps an engine tier to its emu engine name.
+func tierName(mode emu.LoopMode) string {
+	switch mode {
+	case emu.LoopFused:
+		return emu.EngineFused
+	case emu.LoopFast:
+		return emu.EngineFast
+	default:
+		return emu.EngineInstrumented
+	}
+}
+
+// chainFor resolves a request's engine-tier fallback chain. Requests
+// the chain model cannot honor — armed fault plans or profile capture,
+// which force (or are only honored by) specific engine behavior —
+// return nil and execute passthrough, exactly once, with Loop
+// untouched.
+func chainFor(req *driver.Request) []emu.LoopMode {
+	if req.Faults != nil || req.Profile != nil {
+		return nil
+	}
+	switch req.Loop {
+	case emu.LoopAuto, emu.LoopFused:
+		return []emu.LoopMode{emu.LoopFused, emu.LoopFast, emu.LoopInstrumented}
+	case emu.LoopFast:
+		return []emu.LoopMode{emu.LoopFast, emu.LoopInstrumented}
+	default:
+		return []emu.LoopMode{emu.LoopInstrumented}
+	}
+}
+
+// retryable reports whether a tier failure should move the request down
+// the chain. Only a recovered engine panic is: typed traps are the
+// program's own outcome (identical on every tier by the engine-identity
+// contract), context errors are the caller's deadline, and anything
+// else the driver returns is a compile or validation failure that no
+// engine change can fix.
+func retryable(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+// attempt runs one tier, converting a panic into a *PanicError. The
+// named return values are what the deferred recover writes into.
+func (s *Supervisor) attempt(ctx context.Context, class string, req driver.Request, tier string) (res *driver.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, &PanicError{Tier: tier, Value: p}
+		}
+	}()
+	return s.cfg.Exec(ctx, class, req)
+}
+
+// Exec supervises one request: it walks the engine-tier chain, skipping
+// quarantined tiers, recovering panics, and feeding the breakers; on
+// success it may enqueue a shadow re-execution. The returned Result
+// carries the fallback annotation. Errors pass through untouched (a
+// trap is still a trap, reachable with errors.As), except that a panic
+// on the last tier surfaces as a *PanicError.
+func (s *Supervisor) Exec(ctx context.Context, class string, req driver.Request) (*Result, error) {
+	chain := chainFor(&req)
+	if chain == nil {
+		res, err := s.attempt(ctx, class, req, tierName(req.Loop))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Result: res, Tier: res.Engine}, nil
+	}
+
+	var fellFrom []string
+	rerouted := false
+	for i, tier := range chain {
+		name := tierName(tier)
+		last := i == len(chain)-1
+		var br *breaker
+		probe := false
+		if !last {
+			// The last tier is the safety net: it executes regardless of
+			// breaker state, because skipping it would leave nowhere to go.
+			br = s.breakerFor(class, name)
+			switch br.admit(s.now()) {
+			case admitSkip:
+				s.m.breakerReroute.Inc()
+				rerouted = true
+				continue
+			case admitProbe:
+				probe = true
+				s.m.breakerHalfOpen.Inc()
+			}
+		}
+
+		req.Loop = tier
+		res, err := s.attempt(ctx, class, req, name)
+		if err == nil {
+			if br != nil {
+				if br.success(probe) {
+					s.m.breakerClose.Inc()
+					s.m.breakerOpenNow.Set(s.openBreakers())
+					s.record(IncidentBreakerClose, class, name,
+						"half-open probe succeeded; breaker closed")
+				}
+			}
+			if len(fellFrom) > 0 {
+				s.m.fallbackSuccess.Inc()
+				s.record(IncidentPanicFallback, class, name,
+					fmt.Sprintf("tier %s rescued the request after %v faulted", name, fellFrom))
+			}
+			s.maybeShadow(class, req, tier, res)
+			return &Result{Result: res, Tier: res.Engine, FallbackFrom: fellFrom, Rerouted: rerouted}, nil
+		}
+		if !retryable(err) {
+			// A deterministic outcome (trap, compile error, caller's
+			// deadline): the tier functioned, so a probe may close the
+			// breaker, and the error goes straight back to the caller.
+			if br != nil && br.success(probe) {
+				s.m.breakerClose.Inc()
+				s.m.breakerOpenNow.Set(s.openBreakers())
+				s.record(IncidentBreakerClose, class, name,
+					"half-open probe succeeded; breaker closed")
+			}
+			return nil, err
+		}
+		if br != nil && br.failure(s.now(), probe, s.cfg.Threshold, s.cfg.Cooldown) {
+			s.m.breakerOpen.Inc()
+			s.m.breakerOpenNow.Set(s.openBreakers())
+			s.record(IncidentBreakerOpen, class, name,
+				fmt.Sprintf("breaker opened after consecutive %s-tier failures: %v", name, err))
+		}
+		s.m.fallbackAttempts.Inc()
+		fellFrom = append(fellFrom, name)
+		if last {
+			s.m.fallbackExhausted.Inc()
+			s.record(IncidentTierExhausted, class, name,
+				fmt.Sprintf("every tier failed; last error: %v", err))
+			return nil, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	// Unreachable: the chain always ends with an unconditional last tier.
+	return nil, fmt.Errorf("guard: tier chain exhausted without a terminal attempt")
+}
+
+// breakerFor returns the (class, tier) breaker, creating it on first use.
+func (s *Supervisor) breakerFor(class, tier string) *breaker {
+	key := breakerKey{class: class, tier: tier}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.breakers[key]
+	if !ok {
+		b = &breaker{}
+		s.breakers[key] = b
+	}
+	return b
+}
+
+// openBreakers counts breakers not currently closed (the open_now gauge).
+func (s *Supervisor) openBreakers() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, b := range s.breakers {
+		if !b.isClosed() {
+			n++
+		}
+	}
+	return n
+}
+
+// Quarantine force-opens the (class, tier) breaker — the shadow
+// verifier's response to a differential mismatch, exported so tests and
+// operators can quarantine a suspect pair directly.
+func (s *Supervisor) Quarantine(class, tier, reason string) {
+	b := s.breakerFor(class, tier)
+	if b.trip(s.now(), s.cfg.Cooldown) {
+		s.m.breakerOpen.Inc()
+	}
+	s.m.breakerOpenNow.Set(s.openBreakers())
+	s.record(IncidentBreakerOpen, class, tier, "quarantined: "+reason)
+}
+
+// record appends one incident and counts it.
+func (s *Supervisor) record(kind IncidentKind, class, tier, detail string) {
+	s.m.incidents.Inc()
+	s.log.add(Incident{Time: s.now(), Kind: kind, Class: class, Tier: tier, Detail: detail})
+}

@@ -1,0 +1,89 @@
+package guard
+
+import (
+	"sync"
+	"time"
+)
+
+// IncidentKind classifies one supervision event.
+type IncidentKind string
+
+const (
+	// IncidentPanicFallback: an engine tier panicked and a lower tier
+	// rescued the request.
+	IncidentPanicFallback IncidentKind = "panic-fallback"
+	// IncidentShadowMismatch: a shadow re-execution diverged from the
+	// served response — the alarm this whole layer exists to raise.
+	IncidentShadowMismatch IncidentKind = "shadow-mismatch"
+	// IncidentBreakerOpen: a (class, tier) breaker opened (consecutive
+	// failures or quarantine).
+	IncidentBreakerOpen IncidentKind = "breaker-open"
+	// IncidentBreakerClose: a half-open probe succeeded and the breaker
+	// closed.
+	IncidentBreakerClose IncidentKind = "breaker-close"
+	// IncidentTierExhausted: every tier in the chain failed; the caller
+	// saw the last error.
+	IncidentTierExhausted IncidentKind = "tier-exhausted"
+)
+
+// Incident is one recorded supervision event, served by brserve's
+// GET /v1/incidents.
+type Incident struct {
+	// ID increases monotonically from 1 across the process lifetime, so
+	// consumers can detect ring eviction (gaps never occur; a snapshot
+	// whose oldest ID is > 1 has evicted older incidents).
+	ID   int64        `json:"id"`
+	Time time.Time    `json:"time"`
+	Kind IncidentKind `json:"kind"`
+	// Class is the workload class ("sieve/branchreg", "src:ab12cd34/baseline").
+	Class string `json:"class"`
+	// Tier is the engine tier the incident concerns.
+	Tier string `json:"tier"`
+	// Detail is a human-readable description of what happened.
+	Detail string `json:"detail,omitempty"`
+}
+
+// incidentLog is a bounded ring of the most recent incidents. Bounded
+// because it is served over HTTP from a long-running process: an engine
+// bug hit by a hot workload could otherwise grow it without limit.
+type incidentLog struct {
+	mu    sync.Mutex
+	ring  []Incident
+	next  int   // ring index the next incident lands in
+	total int64 // incidents ever recorded (also the ID source)
+}
+
+func newIncidentLog(cap int) *incidentLog {
+	return &incidentLog{ring: make([]Incident, 0, cap)}
+}
+
+// add records one incident, assigning its ID and evicting the oldest
+// entry when the ring is full.
+func (l *incidentLog) add(in Incident) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	in.ID = l.total
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, in)
+		l.next = len(l.ring) % cap(l.ring)
+		return
+	}
+	l.ring[l.next] = in
+	l.next = (l.next + 1) % cap(l.ring)
+}
+
+// snapshot returns the retained incidents newest-first plus the
+// all-time total.
+func (l *incidentLog) snapshot() ([]Incident, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Incident, 0, len(l.ring))
+	// Walk backwards from the newest entry (the one before next). While
+	// the ring is filling, next == len, so this is a plain reverse walk;
+	// once full, it wraps past the eviction point.
+	for i := 0; i < len(l.ring); i++ {
+		out = append(out, l.ring[(l.next-1-i+2*cap(l.ring))%cap(l.ring)])
+	}
+	return out, l.total
+}

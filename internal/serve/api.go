@@ -15,6 +15,8 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"branchreg/internal/driver"
@@ -119,6 +121,14 @@ type RunResponse struct {
 	// request's execution.
 	Coalesced bool    `json:"coalesced,omitempty"`
 	Timing    *Timing `json:"timing,omitempty"`
+	// FallbackFrom lists engine tiers that faulted before the tier in
+	// Engine served this response (the guard supervision layer's
+	// annotation): a fused-engine panic rescued by the fast loop reports
+	// Engine "fast" and FallbackFrom ["fused"].
+	FallbackFrom []string `json:"fallback_from,omitempty"`
+	// Rerouted marks a response whose preferred engine was skipped
+	// because its circuit breaker had quarantined the workload class.
+	Rerouted bool `json:"rerouted,omitempty"`
 }
 
 // WorkloadInfo is one element of the GET /v1/workloads listing.
@@ -166,43 +176,49 @@ func parseEngine(s string) (emu.LoopMode, error) {
 	return 0, badRequest("unknown engine %q (want auto, fused, fast, or step)", s)
 }
 
-// buildRequest translates the wire request into a driver.Request,
-// applying workload lookup, option overlays, and the tenant budget
-// policy. Errors are *httpError values carrying the status to return.
-func (s *Server) buildRequest(rr *RunRequest) (driver.Request, error) {
+// buildRequest translates the wire request into a driver.Request plus
+// its workload class — the label the guard supervision layer keys
+// circuit breakers and shadow sampling on ("sieve/branchreg" for suite
+// workloads, "src:<hash>/baseline" for raw source). Errors are
+// *httpError values carrying the status to return.
+func (s *Server) buildRequest(rr *RunRequest) (driver.Request, string, error) {
 	req := driver.Request{Options: driver.DefaultOptions()}
+	var classProg string
 	switch {
 	case rr.Source != "" && rr.Workload != "":
-		return req, badRequest("source and workload are mutually exclusive")
+		return req, "", badRequest("source and workload are mutually exclusive")
 	case rr.Workload != "":
 		w, ok := workloads.ByName(rr.Workload)
 		if !ok {
-			return req, badRequest("unknown workload %q", rr.Workload)
+			return req, "", badRequest("unknown workload %q", rr.Workload)
 		}
 		req.Source = w.FullSource()
 		req.Input = w.Input
 		req.OutputHint = w.OutputHint
+		classProg = w.Name
 	case rr.Source != "":
 		req.Source = rr.Source
+		sum := sha256.Sum256([]byte(rr.Source))
+		classProg = "src:" + hex.EncodeToString(sum[:4])
 	default:
-		return req, badRequest("request needs source or workload")
+		return req, "", badRequest("request needs source or workload")
 	}
 	if max := s.cfg.MaxSourceBytes; max > 0 && len(req.Source) > max {
-		return req, &httpError{code: 413, msg: fmt.Sprintf("source is %d bytes, limit %d", len(req.Source), max)}
+		return req, "", &httpError{code: 413, msg: fmt.Sprintf("source is %d bytes, limit %d", len(req.Source), max)}
 	}
 	if rr.Input != nil {
 		req.Input = *rr.Input
 	}
 	var err error
 	if req.Kind, err = parseMachine(rr.Machine); err != nil {
-		return req, err
+		return req, "", err
 	}
 	if req.Loop, err = parseEngine(rr.Engine); err != nil {
-		return req, err
+		return req, "", err
 	}
 	rr.Options.apply(&req.Options)
 	if rr.StepBudget < 0 {
-		return req, badRequest("step_budget must be >= 0, got %d", rr.StepBudget)
+		return req, "", badRequest("step_budget must be >= 0, got %d", rr.StepBudget)
 	}
 	budget := rr.StepBudget
 	if budget == 0 {
@@ -212,7 +228,7 @@ func (s *Server) buildRequest(rr *RunRequest) (driver.Request, error) {
 		budget = cap
 	}
 	req.MaxInstructions = budget
-	return req, nil
+	return req, classProg + "/" + req.Kind.String(), nil
 }
 
 // tenantCap returns the step-budget ceiling for a tenant: its entry in

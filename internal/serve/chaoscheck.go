@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"branchreg/internal/guard"
+)
+
+// IncidentsReply mirrors the GET /v1/incidents body (declared in
+// server.go); ChaosCheck decodes it when auditing a chaos run.
+
+// ChaosCheck verifies that a brserve instance booted with a ChaosPlan
+// actually exercised its supervision layer. It is the assertion half of
+// `make chaos-smoke`: the load run proves every response stayed
+// byte-correct; ChaosCheck proves that correctness was *supervised* —
+// panics were injected, fallback rescued them, the breaker opened and
+// closed again, and the shadow verifier never caught a divergence.
+//
+// It polls /metrics until every expected counter has moved (or timeout),
+// issuing probe requests for the probe workload on both machines in
+// between so the half-open breaker has traffic to close against, then
+// audits /v1/incidents.
+func ChaosCheck(ctx context.Context, baseURL, probeWorkload string, client *http.Client, timeout time.Duration) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if probeWorkload == "" {
+		probeWorkload = "sieve"
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	want := []string{
+		"serve.chaos.panics",     // the plan injected at least one failure
+		"guard.fallback.success", // a lower tier rescued a panicked request
+		"guard.breaker.open",     // consecutive failures opened a breaker
+		"guard.breaker.close",    // and a half-open probe closed it again
+	}
+	var snap MetricsReply
+	for {
+		if err := getJSON(ctx, client, baseURL+"/metrics", &snap); err != nil {
+			return fmt.Errorf("chaos-check: %w", err)
+		}
+		var missing []string
+		for _, name := range want {
+			if snap.Metrics.Counters[name] < 1 {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos-check: timed out waiting for counters %s (snapshot: %v)",
+				strings.Join(missing, ", "), snap.Metrics.Counters)
+		}
+		// Probe both machines so the target class sees fresh traffic:
+		// an open breaker needs requests to half-open against, and a
+		// closed one needs successes to stay closed.
+		for _, machine := range []string{"baseline", "branchreg"} {
+			if err := probeRun(ctx, client, baseURL, probeWorkload, machine); err != nil {
+				return fmt.Errorf("chaos-check: probe %s/%s: %w", probeWorkload, machine, err)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(150 * time.Millisecond):
+		}
+	}
+
+	var inc IncidentsReply
+	if err := getJSON(ctx, client, baseURL+"/v1/incidents", &inc); err != nil {
+		return fmt.Errorf("chaos-check: %w", err)
+	}
+	byKind := map[guard.IncidentKind]int{}
+	for _, in := range inc.Incidents {
+		byKind[in.Kind]++
+	}
+	if byKind[guard.IncidentPanicFallback] == 0 {
+		return fmt.Errorf("chaos-check: incident log has no %s entries (total %d)", guard.IncidentPanicFallback, inc.Total)
+	}
+	if byKind[guard.IncidentBreakerOpen] == 0 {
+		return fmt.Errorf("chaos-check: incident log has no %s entries (total %d)", guard.IncidentBreakerOpen, inc.Total)
+	}
+	if n := byKind[guard.IncidentShadowMismatch]; n > 0 {
+		return fmt.Errorf("chaos-check: %d shadow mismatches recorded — engines diverged under chaos", n)
+	}
+	return nil
+}
+
+// probeRun issues one workload request and drains the response; any
+// HTTP status is acceptable (an open breaker may reroute, a full queue
+// may 429) — the probe exists to generate class traffic, not to assert.
+func probeRun(ctx context.Context, client *http.Client, base, workload, machine string) error {
+	body, err := json.Marshal(&RunRequest{Workload: workload, Machine: machine})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hr, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, hr.Body)
+	return hr.Body.Close()
+}
+
+// getJSON fetches url and decodes the 200 body into out.
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return err
+	}
+	hr, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer hr.Body.Close()
+	raw, err := io.ReadAll(hr.Body)
+	if err != nil {
+		return err
+	}
+	if hr.StatusCode != 200 {
+		return fmt.Errorf("GET %s: HTTP %d: %s", url, hr.StatusCode, raw)
+	}
+	return json.Unmarshal(raw, out)
+}

@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +41,14 @@ type LoadSpec struct {
 	Verify func(workload, machine string, resp *RunResponse) error
 	// Client overrides the HTTP client (default: http.DefaultClient).
 	Client *http.Client
+	// MaxBackoff caps one 429/503 retry sleep (default 1s). Benchmarks
+	// set it low (~20ms): honoring a server's full Retry-After would
+	// measure the backoff policy, not the server's saturation throughput.
+	MaxBackoff time.Duration
+	// DrainRetryWindow bounds how long a client keeps retrying 503s
+	// (a draining or restarting server) before failing the request
+	// (default 5s).
+	DrainRetryWindow time.Duration
 }
 
 // LoadFailure records one failed request for diagnosis.
@@ -54,6 +65,7 @@ type LoadResult struct {
 	Errors     int     `json:"errors"`
 	Server5xx  int     `json:"server_5xx"`
 	Retries429 int     `json:"retries_429"`
+	Retries503 int     `json:"retries_503"`
 	Coalesced  int     `json:"coalesced"`
 	P50NS      int64   `json:"p50_ns"`
 	P99NS      int64   `json:"p99_ns"`
@@ -110,11 +122,12 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 	hc.Body.Close()
 
 	var (
-		next      atomic.Int64 // next matrix index to issue
-		done      atomic.Int64 // successful responses collected
-		retries   atomic.Int64
-		coalesced atomic.Int64
-		server5xx atomic.Int64
+		next       atomic.Int64 // next matrix index to issue
+		done       atomic.Int64 // successful responses collected
+		retries    atomic.Int64
+		retries503 atomic.Int64
+		coalesced  atomic.Int64
+		server5xx  atomic.Int64
 
 		mu        sync.Mutex
 		latencies []int64
@@ -142,7 +155,7 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 					return
 				}
 				c := cells[int(i)%len(cells)]
-				lat, resp, code, err := issueOne(ctx, client, spec.BaseURL, spec.Tenant, c, &retries)
+				lat, resp, code, err := issueOne(ctx, client, &spec, c, &retries, &retries503)
 				if err != nil {
 					errCount.Add(1)
 					if code >= 500 {
@@ -177,6 +190,7 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 		Errors:     int(errCount.Load()),
 		Server5xx:  int(server5xx.Load()),
 		Retries429: int(retries.Load()),
+		Retries503: int(retries503.Load()),
 		Coalesced:  int(coalesced.Load()),
 		WallNS:     time.Since(start).Nanoseconds(),
 		Failures:   failures,
@@ -188,15 +202,40 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 	return res, ctx.Err()
 }
 
-// issueOne posts one workload run, retrying 429s with linear backoff.
-// The returned latency covers the final (non-429) attempt only.
-func issueOne(ctx context.Context, client *http.Client, base, tenant string, c loadCell, retries *atomic.Int64) (int64, *RunResponse, int, error) {
-	body, err := json.Marshal(&RunRequest{Workload: c.workload, Machine: c.machine, Tenant: tenant})
+// backoffFor computes the sleep before the next retry: the server's
+// Retry-After when it sent one (whole seconds, per RFC 9110), else
+// linear 5ms steps by attempt; either way capped at max and jittered
+// into [d/2, d) so a fleet of retrying clients desynchronizes instead
+// of stampeding the server on the same beat.
+func backoffFor(attempt int, retryAfter string, cap time.Duration) time.Duration {
+	d := time.Duration(min(attempt+1, 20)) * 5 * time.Millisecond
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); retryAfter != "" && err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if cap <= 0 {
+		cap = time.Second
+	}
+	d = min(max(d, 2*time.Millisecond), cap)
+	half := d / 2
+	return half + rand.N(half)
+}
+
+// issueOne posts one workload run, retrying 429s (jittered backoff,
+// honoring Retry-After) and — within spec.DrainRetryWindow — 503s from
+// a draining server. The returned latency covers the final successful
+// attempt only.
+func issueOne(ctx context.Context, client *http.Client, spec *LoadSpec, c loadCell, retries, retries503 *atomic.Int64) (int64, *RunResponse, int, error) {
+	body, err := json.Marshal(&RunRequest{Workload: c.workload, Machine: c.machine, Tenant: spec.Tenant})
 	if err != nil {
 		return 0, nil, 0, err
 	}
+	drainWindow := spec.DrainRetryWindow
+	if drainWindow <= 0 {
+		drainWindow = 5 * time.Second
+	}
+	var drainDeadline time.Time // set on the first 503 seen
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/run", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, "POST", spec.BaseURL+"/v1/run", bytes.NewReader(body))
 		if err != nil {
 			return 0, nil, 0, err
 		}
@@ -212,12 +251,24 @@ func issueOne(ctx context.Context, client *http.Client, base, tenant string, c l
 		if err != nil {
 			return 0, nil, hr.StatusCode, err
 		}
-		if hr.StatusCode == 429 {
-			retries.Add(1)
+		retryable := hr.StatusCode == 429
+		if hr.StatusCode == 503 {
+			now := time.Now()
+			if drainDeadline.IsZero() {
+				drainDeadline = now.Add(drainWindow)
+			}
+			retryable = now.Before(drainDeadline)
+		}
+		if retryable {
+			if hr.StatusCode == 429 {
+				retries.Add(1)
+			} else {
+				retries503.Add(1)
+			}
 			select {
 			case <-ctx.Done():
-				return 0, nil, 429, ctx.Err()
-			case <-time.After(time.Duration(min(attempt+1, 20)) * 5 * time.Millisecond):
+				return 0, nil, hr.StatusCode, ctx.Err()
+			case <-time.After(backoffFor(attempt, hr.Header.Get("Retry-After"), spec.MaxBackoff)):
 			}
 			continue
 		}

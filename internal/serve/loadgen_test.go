@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffFor(t *testing.T) {
+	cases := []struct {
+		name       string
+		attempt    int
+		retryAfter string
+		cap        time.Duration
+		lo, hi     time.Duration // want result in [lo, hi)
+	}{
+		{"first-attempt-linear", 0, "", time.Second, 2500 * time.Microsecond, 5 * time.Millisecond},
+		{"tenth-attempt-linear", 9, "", time.Second, 25 * time.Millisecond, 50 * time.Millisecond},
+		{"linear-caps-at-20-steps", 99, "", time.Second, 50 * time.Millisecond, 100 * time.Millisecond},
+		{"retry-after-honored", 0, "2", 5 * time.Second, time.Second, 2 * time.Second},
+		{"retry-after-capped", 0, "30", 25 * time.Millisecond, 12500 * time.Microsecond, 25 * time.Millisecond},
+		{"retry-after-zero-still-sleeps", 0, "0", time.Second, time.Millisecond, 2 * time.Millisecond},
+		{"retry-after-garbage-falls-back", 2, "soon", time.Second, 7500 * time.Microsecond, 15 * time.Millisecond},
+		{"zero-cap-means-default-1s", 0, "600", 0, 500 * time.Millisecond, time.Second},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for i := 0; i < 100; i++ { // jitter: check the whole range
+				d := backoffFor(c.attempt, c.retryAfter, c.cap)
+				if d < c.lo || d >= c.hi {
+					t.Fatalf("backoffFor(%d, %q, %v) = %v, want in [%v, %v)",
+						c.attempt, c.retryAfter, c.cap, d, c.lo, c.hi)
+				}
+			}
+		})
+	}
+}
+
+// flakyRunHandler answers a scripted sequence of status codes before
+// succeeding, and records what it saw.
+type flakyRunHandler struct {
+	codes      []int // consumed one per request until empty, then 200
+	retryAfter string
+	n          atomic.Int64
+}
+
+func (h *flakyRunHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		w.WriteHeader(200)
+		return
+	}
+	i := int(h.n.Add(1)) - 1
+	if i < len(h.codes) {
+		if h.retryAfter != "" {
+			w.Header().Set("Retry-After", h.retryAfter)
+		}
+		w.WriteHeader(h.codes[i])
+		json.NewEncoder(w).Encode(&RunResponse{Error: http.StatusText(h.codes[i])})
+		return
+	}
+	json.NewEncoder(w).Encode(&RunResponse{Output: "ok", Status: 0})
+}
+
+// TestIssueOneRetries429 honors Retry-After and then succeeds.
+func TestIssueOneRetries429(t *testing.T) {
+	h := &flakyRunHandler{codes: []int{429, 429}, retryAfter: "1"}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	spec := LoadSpec{BaseURL: ts.URL, MaxBackoff: 10 * time.Millisecond}
+	var retries, retries503 atomic.Int64
+	start := time.Now()
+	_, resp, code, err := issueOne(context.Background(), http.DefaultClient, &spec,
+		loadCell{workload: "sieve", machine: "branchreg"}, &retries, &retries503)
+	if err != nil || code != 200 {
+		t.Fatalf("issueOne: code=%d err=%v", code, err)
+	}
+	if resp.Output != "ok" {
+		t.Errorf("output = %q", resp.Output)
+	}
+	if n := retries.Load(); n != 2 {
+		t.Errorf("429 retries = %d, want 2", n)
+	}
+	// Retry-After of 1s was capped at MaxBackoff (10ms): the whole call
+	// must finish far sooner than the 2s the header asked for.
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("issueOne took %v: MaxBackoff did not cap Retry-After", el)
+	}
+}
+
+// TestIssueOneRetries503WithinWindow: a draining server's 503s are
+// retried, bounded by DrainRetryWindow.
+func TestIssueOneRetries503WithinWindow(t *testing.T) {
+	h := &flakyRunHandler{codes: []int{503, 503}}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	spec := LoadSpec{BaseURL: ts.URL, MaxBackoff: 5 * time.Millisecond, DrainRetryWindow: 5 * time.Second}
+	var retries, retries503 atomic.Int64
+	_, resp, code, err := issueOne(context.Background(), http.DefaultClient, &spec,
+		loadCell{workload: "sieve", machine: "branchreg"}, &retries, &retries503)
+	if err != nil || code != 200 {
+		t.Fatalf("issueOne: code=%d err=%v", code, err)
+	}
+	if resp.Output != "ok" {
+		t.Errorf("output = %q", resp.Output)
+	}
+	if n := retries503.Load(); n != 2 {
+		t.Errorf("503 retries = %d, want 2", n)
+	}
+}
+
+// TestIssueOne503WindowExpires: a server that never stops draining
+// eventually fails the request instead of retrying forever.
+func TestIssueOne503WindowExpires(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(200)
+			return
+		}
+		w.WriteHeader(503)
+		json.NewEncoder(w).Encode(&RunResponse{Error: "server is draining"})
+	}))
+	defer ts.Close()
+
+	spec := LoadSpec{BaseURL: ts.URL, MaxBackoff: 2 * time.Millisecond, DrainRetryWindow: 30 * time.Millisecond}
+	var retries, retries503 atomic.Int64
+	_, _, code, err := issueOne(context.Background(), http.DefaultClient, &spec,
+		loadCell{workload: "sieve", machine: "branchreg"}, &retries, &retries503)
+	if err == nil || code != 503 {
+		t.Fatalf("issueOne: code=%d err=%v, want a 503 failure after the window", code, err)
+	}
+	if retries503.Load() == 0 {
+		t.Error("no 503 retries before giving up")
+	}
+}

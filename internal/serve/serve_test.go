@@ -379,7 +379,7 @@ func TestServeFingerprintSeparation(t *testing.T) {
 	var wg sync.WaitGroup
 	reqs := []RunRequest{
 		{Workload: "sieve"},
-		{Workload: "sieve", Engine: "fast"},       // Loop differs
+		{Workload: "sieve", Engine: "fast"},          // Loop differs
 		{Workload: "sieve", StepBudget: 999_999_999}, // budget differs
 	}
 	codes := make([]int, len(reqs))

@@ -14,6 +14,7 @@ import (
 
 	"branchreg/internal/driver"
 	"branchreg/internal/emu"
+	"branchreg/internal/guard"
 	"branchreg/internal/obs"
 	"branchreg/internal/workloads"
 )
@@ -50,6 +51,24 @@ type Config struct {
 	// Metrics supplies the registry serve records into (default:
 	// obs.Default).
 	Metrics *obs.Registry
+
+	// BreakerThreshold is the consecutive engine-failure count that opens
+	// a (class, engine) circuit breaker (default 3; see internal/guard).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker pins its class to the
+	// fallback engine before half-open probing (default 30s).
+	BreakerCooldown time.Duration
+	// ShadowRate samples every Nth successful execution of a class for
+	// background differential re-execution on the alternate engine
+	// (default 32; negative disables shadow verification).
+	ShadowRate int
+	// IncidentCap bounds the incident ring served at GET /v1/incidents
+	// (default 256).
+	IncidentCap int
+	// Chaos, when non-nil, arms the deterministic chaos plan — injected
+	// engine panics, latency, and worker stalls for supervision testing.
+	// Never set it on a production server.
+	Chaos *ChaosPlan
 }
 
 // serveMetrics holds the resolved metric handles so the request path
@@ -95,9 +114,10 @@ func newServeMetrics(r *obs.Registry) serveMetrics {
 type job struct {
 	req     driver.Request
 	fp      string
+	class   string
 	enq     time.Time
 	queueNS int64
-	res     *driver.Result
+	out     *guard.Result
 	err     error
 	done    chan struct{}
 }
@@ -117,6 +137,8 @@ type shard struct {
 type Server struct {
 	cfg      Config
 	cache    *driver.Cache
+	sup      *guard.Supervisor
+	chaos    *chaos
 	m        serveMetrics
 	mux      *http.ServeMux
 	shards   []*shard
@@ -153,12 +175,38 @@ func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.Default
 	}
+	if cfg.ShadowRate == 0 {
+		cfg.ShadowRate = 32
+	}
 	s := &Server{
 		cfg:   cfg,
 		cache: cfg.Cache,
 		m:     newServeMetrics(cfg.Metrics),
 		start: time.Now(),
 	}
+	// The execution stack, bottom-up: the compile cache's Exec, the chaos
+	// injector (tests and smoke runs only), and the guard supervisor the
+	// workers actually call.
+	exec := guard.ExecFunc(func(ctx context.Context, _ string, req driver.Request) (*driver.Result, error) {
+		return s.cache.Exec(ctx, req)
+	})
+	if cfg.Chaos != nil {
+		s.chaos = newChaos(*cfg.Chaos, cfg.Metrics)
+		exec = s.chaos.wrap(exec)
+	}
+	shadowRate := cfg.ShadowRate
+	if shadowRate < 0 {
+		shadowRate = 0
+	}
+	s.sup = guard.New(guard.Config{
+		Exec:          exec,
+		Threshold:     cfg.BreakerThreshold,
+		Cooldown:      cfg.BreakerCooldown,
+		ShadowRate:    shadowRate,
+		ShadowTimeout: cfg.JobTimeout,
+		IncidentCap:   cfg.IncidentCap,
+		Metrics:       cfg.Metrics,
+	})
 	perShard := max(1, cfg.QueueDepth/cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, &shard{
@@ -174,6 +222,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/incidents", s.handleIncidents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -197,6 +246,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()
+		// Only after the last worker exits can no new shadow samples
+		// arrive; close the supervisor's shadow pool and let queued
+		// verifications finish.
+		s.sup.Close()
 		close(done)
 	}()
 	select {
@@ -224,10 +277,13 @@ func (s *Server) worker(sh *shard) {
 		if s.gate != nil {
 			<-s.gate
 		}
+		if s.chaos != nil {
+			s.chaos.maybeStall()
+		}
 		j.queueNS = time.Since(j.enq).Nanoseconds()
 		s.m.queueWait.Observe(j.queueNS)
 		s.m.inflight.Set(s.running.Add(1))
-		j.res, j.err = s.execJob(j)
+		j.out, j.err = s.execJob(j)
 		s.m.inflight.Set(s.running.Add(-1))
 		// Remove from the coalescing table before publishing: an
 		// identical request arriving after done closes must start a
@@ -239,13 +295,16 @@ func (s *Server) worker(sh *shard) {
 	}
 }
 
-// execJob runs one job under the configured timeout, converting panics
-// into errInternal so a compiler or emulator bug costs one 500, not the
+// execJob runs one job through the guard supervisor under the
+// configured timeout. The supervisor absorbs engine-tier panics via
+// fallback; the recover here is the last resort for a panic outside
+// any tier attempt (or one that exhausted every tier and re-escaped),
+// converting it into errInternal so a bug costs one 500, not the
 // process.
-func (s *Server) execJob(j *job) (res *driver.Result, err error) {
+func (s *Server) execJob(j *job) (out *guard.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("%w: panic: %v", errInternal, p)
+			out, err = nil, fmt.Errorf("%w: panic: %v", errInternal, p)
 		}
 	}()
 	ctx := context.Background()
@@ -254,7 +313,7 @@ func (s *Server) execJob(j *job) (res *driver.Result, err error) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancel()
 	}
-	return s.cache.Exec(ctx, j.req)
+	return s.sup.Exec(ctx, j.class, j.req)
 }
 
 // handleRun is POST /v1/run: decode, admit (coalesce / enqueue / 429),
@@ -272,7 +331,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, 400, &RunResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
-	req, err := s.buildRequest(&rr)
+	req, class, err := s.buildRequest(&rr)
 	if err != nil {
 		s.m.badReq.Inc()
 		he := &httpError{code: 400, msg: err.Error()}
@@ -300,7 +359,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if coalesced {
 		s.m.coalesced.Inc()
 	} else {
-		j = &job{req: req, fp: fp, enq: time.Now(), done: make(chan struct{})}
+		j = &job{req: req, fp: fp, class: class, enq: time.Now(), done: make(chan struct{})}
 		select {
 		case sh.queue <- j:
 			sh.inflight[fp] = j
@@ -338,10 +397,12 @@ func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, coa
 	}
 	totalObserved := func() { s.m.totalNS.Observe(resp.Timing.TotalNS) }
 	if j.err == nil {
-		res := j.res
+		res := j.out.Result
 		resp.Output = res.Output
 		resp.Status = res.Status
 		resp.Engine = res.Engine
+		resp.FallbackFrom = j.out.FallbackFrom
+		resp.Rerouted = j.out.Rerouted
 		if res.Engine == emu.EngineFused {
 			f := res.Fusion
 			resp.Fusion = &f
@@ -357,6 +418,7 @@ func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, coa
 		return
 	}
 	var trap *emu.Trap
+	var pe *guard.PanicError
 	switch {
 	case errors.As(j.err, &trap):
 		resp.Trap = trap
@@ -369,7 +431,10 @@ func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, coa
 		s.m.traps.Inc()
 		totalObserved()
 		writeJSON(w, 200, resp)
-	case errors.Is(j.err, errInternal):
+	case errors.Is(j.err, errInternal), errors.As(j.err, &pe), errors.Is(j.err, driver.ErrCompilePanic):
+		// A worker panic, an engine panic that exhausted every fallback
+		// tier, or a compiler panic cached as an error: the service's
+		// bug, never the client's — the only 500s.
 		s.m.internal.Inc()
 		resp.Error = j.err.Error()
 		totalObserved()
@@ -396,6 +461,22 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, WorkloadInfo{Name: wl.Name, Class: wl.Class, Description: wl.Description})
 	}
 	writeJSON(w, 200, out)
+}
+
+// IncidentsReply is the GET /v1/incidents body: the retained incident
+// ring (newest first) plus the all-time total, so a consumer can tell
+// when the bounded ring has evicted older incidents.
+type IncidentsReply struct {
+	Total     int64            `json:"total"`
+	Incidents []guard.Incident `json:"incidents"`
+}
+
+// handleIncidents serves the supervision layer's incident ring:
+// engine-tier fallbacks, breaker transitions, and shadow-verification
+// mismatches.
+func (s *Server) handleIncidents(w http.ResponseWriter, _ *http.Request) {
+	incidents, total := s.sup.Incidents()
+	writeJSON(w, 200, &IncidentsReply{Total: total, Incidents: incidents})
 }
 
 // handleHealth is the liveness/readiness probe: 200 while serving, 503
