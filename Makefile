@@ -44,6 +44,7 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/driver -run='^$$' -fuzz=FuzzDifferentialPrograms -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/driver -run='^$$' -fuzz=FuzzFusedDifferential -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/driver -run='^$$' -fuzz=FuzzAdaptiveDifferential -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/driver -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=$(FUZZTIME)
 
 # The emulator's three specialized loops (fast+profiled, fused, fused+
@@ -73,7 +74,7 @@ serve-smoke:
 	rm -f /tmp/brserve-smoke /tmp/brload-smoke; \
 	exit $$rc
 
-# Boot brserve with a seeded chaos plan (every fused execution of the
+# Boot brserve with a seeded chaos plan (every adaptive execution of the
 # sieve classes panics, eight panics total), drive a differential
 # brload burst, then audit the supervision layer: every response must
 # stay byte-correct via fallback, the breaker must open AND close, the

@@ -72,9 +72,19 @@ type Entry struct {
 }
 
 var (
-	emuLine    = regexp.MustCompile(`^BenchmarkEmulator/(baseline|branchreg)\S*\s+\d+\s+[\d.]+ ns/op\s+([\d.e+]+) emulated-insts/s`)
+	emuLine    = regexp.MustCompile(`^BenchmarkEmulator/([\w/]+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op\s+([\d.e+]+) emulated-insts/s`)
 	table1Line = regexp.MustCompile(`^BenchmarkTable1\S*\s+\d+\s+([\d.]+) ns/op`)
 )
+
+// emuKinds is the row set BenchmarkEmulator must produce for an entry
+// to be recordable: the sieve throughput rows per machine, plus the
+// static-fused vs adaptive comparison on the compiler-shaped tinycc
+// workload (the adaptive tier's win condition).
+var emuKinds = []string{
+	"baseline", "branchreg",
+	"tinycc/baseline/fused", "tinycc/baseline/adaptive",
+	"tinycc/branchreg/fused", "tinycc/branchreg/adaptive",
+}
 
 // measureSamples is how many times each recording or gate measurement
 // reruns the benchmark binary, keeping the best throughput per machine
@@ -223,7 +233,12 @@ func measure(benchtime, label string) (*Entry, error) {
 			}
 		}
 	}
-	if len(entry.EmulatedInstsPerSec) != 2 || entry.Table1WallClockMillis == 0 {
+	for _, kind := range emuKinds {
+		if entry.EmulatedInstsPerSec[kind] <= 0 {
+			return nil, fmt.Errorf("benchmark output missing %s emulated-insts/s:\n%s", kind, outBytes)
+		}
+	}
+	if entry.Table1WallClockMillis == 0 {
 		return nil, fmt.Errorf("benchmark output missing expected metrics:\n%s", outBytes)
 	}
 	return entry, nil

@@ -64,6 +64,11 @@ type ServeEntry struct {
 	ReqPerSec  float64 `json:"req_s"`
 	Coalesced  int     `json:"coalesced"`
 	Retries429 int     `json:"retries_429"`
+	// EngineMix counts the verified responses by serving engine tier,
+	// so the trajectory records which tier actually carried the load
+	// (a throughput number served by fallback tiers is a different
+	// result than the same number from the chain head).
+	EngineMix map[string]int `json:"engine_mix,omitempty"`
 }
 
 // measureServe boots an in-process server on a loopback port, drives
@@ -111,6 +116,7 @@ func measureServe(oracle *serve.DifferentialOracle, clients, requests int, label
 		ReqPerSec:  res.ReqPerSec,
 		Coalesced:  res.Coalesced,
 		Retries429: res.Retries429,
+		EngineMix:  res.Engines,
 	}, nil
 }
 
@@ -142,6 +148,7 @@ func mergeServeBest(best, next *ServeEntry) {
 		best.ReqPerSec = next.ReqPerSec
 		best.Coalesced = next.Coalesced
 		best.Retries429 = next.Retries429
+		best.EngineMix = next.EngineMix
 	}
 	if next.P50Millis < best.P50Millis {
 		best.P50Millis = next.P50Millis

@@ -1,0 +1,265 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"branchreg/internal/emu"
+	"branchreg/internal/isa"
+	"branchreg/internal/workloads"
+)
+
+// Differential coverage for the adaptive tier (emu.LoopAdaptive): at any
+// promotion threshold — promote-at-first-opportunity, the default, or
+// never — and at any point in the warm→promoted lifecycle, an adaptive
+// run must be byte-identical to the instrumented reference: output,
+// status, Stats, trap kind/PC/detail, and step-budget Limit/Executed.
+// Each program is compiled fresh per threshold so promotion state
+// (keyed by program identity) is isolated, and each case runs twice in
+// sequence: run 1 exercises warmup and possibly mid-run promotion, run
+// 2 enters the promoted form directly when a promotion happened.
+
+// adaptiveThresholds are the promotion regimes under test: promote as
+// soon as the stride poll sees any arrival, the production default, and
+// promotion disabled.
+var adaptiveThresholds = []int64{1, emu.DefaultPromoteThreshold, -1}
+
+// runAdaptiveAgainstReference executes p twice under LoopAdaptive with
+// the given threshold and budget, comparing each run against a fresh
+// instrumented run of the same request.
+func runAdaptiveAgainstReference(t *testing.T, p *isa.Program, input string, threshold, budget int64) {
+	t.Helper()
+	ref, refErr := Exec(context.Background(), Request{
+		Program: p, Input: input, Loop: emu.LoopInstrumented, MaxInstructions: budget,
+	})
+	for run := 1; run <= 2; run++ {
+		res, err := Exec(context.Background(), Request{
+			Program: p, Input: input, Loop: emu.LoopAdaptive,
+			PromoteThreshold: threshold, MaxInstructions: budget,
+		})
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("th=%d run %d error divergence: adaptive=%v instrumented=%v",
+				threshold, run, err, refErr)
+		}
+		if err != nil {
+			var at, it *emu.Trap
+			if errors.As(err, &at) != errors.As(refErr, &it) {
+				t.Fatalf("th=%d run %d trap-ness divergence: adaptive=%v instrumented=%v",
+					threshold, run, err, refErr)
+			}
+			if at != nil && !reflect.DeepEqual(*at, *it) {
+				t.Fatalf("th=%d run %d trap divergence:\n adaptive: %+v\n step:     %+v",
+					threshold, run, *at, *it)
+			}
+			continue
+		}
+		if res.Engine != emu.EngineAdaptive {
+			t.Fatalf("th=%d run %d engine %q, want %q", threshold, run, res.Engine, emu.EngineAdaptive)
+		}
+		if threshold < 0 && res.Refusion.Promoted {
+			t.Fatalf("th=%d run %d promoted with promotion disabled: %+v", threshold, run, res.Refusion)
+		}
+		refEq := *ref
+		refEq.Engine = res.Engine     // only the engine name
+		refEq.Fusion = res.Fusion     // and the tier-descriptive counters
+		refEq.Refusion = res.Refusion // may differ between tiers
+		if !eqResult(*res, refEq) {
+			t.Fatalf("th=%d run %d result divergence:\n adaptive: %+v\n step:     %+v",
+				threshold, run, res, ref)
+		}
+	}
+}
+
+func TestAdaptiveWorkloadDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix adaptive differential is not short")
+	}
+	o := DefaultOptions()
+	for _, w := range workloads.All() {
+		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+			w, kind := w, kind
+			t.Run(fmt.Sprintf("%s/%v", w.Name, kind), func(t *testing.T) {
+				t.Parallel()
+				for _, th := range adaptiveThresholds {
+					// A fresh compile per threshold isolates promotion state:
+					// program identity keys the adaptive state machine.
+					p, err := Compile(context.Background(), w.FullSource(), kind, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					runAdaptiveAgainstReference(t, p, w.Input, th, 0)
+				}
+			})
+		}
+	}
+}
+
+func TestAdaptiveStepBudgetTrap(t *testing.T) {
+	// Step-budget traps must carry identical Limit/Executed wherever the
+	// budget lands: during warmup (before the first stride poll), right
+	// around the promotion window, or deep in the promoted form.
+	w, ok := workloads.ByName("sieve")
+	if !ok {
+		t.Fatal("no sieve workload")
+	}
+	for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+		for _, budget := range []int64{1000, 70_000, 300_000} {
+			p, err := Compile(context.Background(), w.FullSource(), kind, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			runAdaptiveAgainstReference(t, p, w.Input, 1, budget)
+		}
+	}
+}
+
+func TestAdaptivePromotionLifecycle(t *testing.T) {
+	// The promotion state machine itself: a loopy program at threshold 1
+	// promotes (mid-run past the stride poll, or between runs), and the
+	// second run enters the promoted form with a mined vocabulary and a
+	// mixed-tier block split; with promotion disabled nothing promotes.
+	w, ok := workloads.ByName("dhrystone")
+	if !ok {
+		t.Fatal("no dhrystone workload")
+	}
+	p, err := Compile(context.Background(), w.FullSource(), isa.BranchReg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Exec(context.Background(), Request{
+		Program: p, Input: w.Input, Loop: emu.LoopAdaptive, PromoteThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Exec(context.Background(), Request{
+		Program: p, Input: w.Input, Loop: emu.LoopAdaptive, PromoteThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Refusion.Promoted {
+		t.Fatalf("second run did not enter the promoted form: %+v", second.Refusion)
+	}
+	if second.Refusion.Promotions != 1 {
+		t.Fatalf("promotions = %d, want exactly 1", second.Refusion.Promotions)
+	}
+	if second.Refusion.VocabPairs == 0 {
+		t.Fatalf("promoted form mined an empty pair vocabulary: %+v", second.Refusion)
+	}
+	if second.Refusion.HotBlocks == 0 {
+		t.Fatalf("promoted form has no hot blocks: %+v", second.Refusion)
+	}
+	if second.Refusion.WarmupInsts == 0 {
+		t.Fatalf("promotion recorded no warmup instructions: %+v", second.Refusion)
+	}
+	if second.Fusion.Blocks == 0 {
+		t.Fatalf("promoted run entered no fused blocks: %+v", second.Fusion)
+	}
+	if first.Output != second.Output || first.Stats != second.Stats {
+		t.Fatalf("warmup and promoted runs diverge")
+	}
+
+	// Promotion disabled: two runs, no state, no promoted form.
+	p2, err := Compile(context.Background(), w.FullSource(), isa.BranchReg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := Exec(context.Background(), Request{
+			Program: p2, Input: w.Input, Loop: emu.LoopAdaptive, PromoteThreshold: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Refusion.Promoted || res.Fusion.Blocks != 0 {
+			t.Fatalf("run %d promoted with promotion disabled: %+v %+v", i, res.Refusion, res.Fusion)
+		}
+	}
+}
+
+func TestAdaptiveRejectsHooksAndFaults(t *testing.T) {
+	w, _ := workloads.ByName("wc")
+	p, err := Compile(context.Background(), w.FullSource(), isa.Baseline, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &emu.FaultPlan{Seed: 1, Ops: []emu.FaultOp{{Kind: emu.FaultCorruptBReg, N: 1}}}
+	_, err = Exec(context.Background(), Request{Program: p, Input: w.Input,
+		Loop: emu.LoopAdaptive, Faults: plan})
+	if err == nil {
+		t.Fatal("LoopAdaptive accepted a fault plan")
+	}
+	var trap *emu.Trap
+	if errors.As(err, &trap) {
+		t.Fatalf("fault-plan rejection should not be a trap: %v", err)
+	}
+}
+
+// FuzzAdaptiveDifferential is the adaptive tier's coverage-guided
+// differential (wired into `make fuzz-smoke`): one generated program per
+// input, run on both machines under the fast loop (reference) and twice
+// under the adaptive tier with a fuzzed budget and threshold regime —
+// so the budget cutoff and the promotion point land at arbitrary
+// offsets relative to each other, including inside the warmup→promoted
+// bridge. Asserts identical output, status, Stats, and trap fields.
+func FuzzAdaptiveDifferential(f *testing.F) {
+	f.Add(int64(1), int64(0), int64(0))
+	f.Add(int64(20260806), int64(1000), int64(1))
+	f.Add(int64(7), int64(70001), int64(2))
+	f.Fuzz(func(t *testing.T, seed, budget, thSel int64) {
+		gen := &progGen{r: rand.New(rand.NewSource(seed))}
+		src := gen.generate()
+		o := DefaultOptions()
+		if thSel < 0 {
+			thSel = -thSel
+		}
+		threshold := adaptiveThresholds[thSel%int64(len(adaptiveThresholds))]
+		for _, kind := range []isa.Kind{isa.Baseline, isa.BranchReg} {
+			p, err := Compile(context.Background(), src, kind, o)
+			if err != nil {
+				t.Fatalf("%v: %v\nprogram:\n%s", kind, err, src)
+			}
+			run := func(mode emu.LoopMode) (*emu.Machine, error) {
+				m, err := emu.New(p, "")
+				if err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				m.Loop = mode
+				m.PromoteThreshold = threshold
+				if budget > 0 {
+					m.MaxInstructions = budget % (1 << 20)
+				}
+				_, runErr := m.Run()
+				return m, runErr
+			}
+			fm, ferr := run(emu.LoopFast)
+			for i := 0; i < 2; i++ {
+				am, aerr := run(emu.LoopAdaptive)
+				if (ferr == nil) != (aerr == nil) {
+					t.Fatalf("%v run %d error divergence: fast=%v adaptive=%v\nprogram:\n%s",
+						kind, i, ferr, aerr, src)
+				}
+				if ferr != nil {
+					var ft, at *emu.Trap
+					fok, aok := errors.As(ferr, &ft), errors.As(aerr, &at)
+					if fok != aok {
+						t.Fatalf("%v run %d trap-ness divergence: fast=%v adaptive=%v", kind, i, ferr, aerr)
+					}
+					if fok && *ft != *at {
+						t.Fatalf("%v run %d trap divergence:\n fast:     %+v\n adaptive: %+v\nprogram:\n%s",
+							kind, i, *ft, *at, src)
+					}
+				}
+				if fm.Output() != am.Output() || fm.Status() != am.Status() || fm.Stats != am.Stats {
+					t.Fatalf("%v run %d adaptive divergence: output %q vs %q, status %d vs %d\nprogram:\n%s",
+						kind, i, fm.Output(), am.Output(), fm.Status(), am.Status(), src)
+				}
+			}
+		}
+	})
+}

@@ -133,8 +133,13 @@ type Result struct {
 	Engine string
 	// Fusion describes the block-fused engine's dynamic behavior (blocks
 	// entered, superinstructions retired, hand-offs to the fast loop).
-	// Zero unless Engine is emu.EngineFused.
+	// Zero unless Engine is emu.EngineFused or emu.EngineAdaptive.
 	Fusion emu.FusionStats
+	// Refusion describes the adaptive tier's promotion behavior for this
+	// run (whether it executed a promoted form, the mixed-tier block
+	// split, the mined vocabulary size). Zero unless Engine is
+	// emu.EngineAdaptive.
+	Refusion emu.RefusionStats
 	// Timing is where the request's wall clock went: compile (zero for
 	// pre-linked programs and compile-cache hits served without waiting)
 	// and emulation, plus queue wait when the request passed through

@@ -85,6 +85,7 @@ func execute(ctx context.Context, p *isa.Program, req *Request) (*Result, error)
 	m.SetFaultPlan(req.Faults)
 	m.Loop = req.Loop
 	m.Prof = req.Profile
+	m.PromoteThreshold = req.PromoteThreshold
 	m.ReserveOutput(req.OutputHint)
 	if req.MaxInstructions > 0 {
 		m.MaxInstructions = req.MaxInstructions
@@ -100,6 +101,14 @@ func execute(ctx context.Context, p *isa.Program, req *Request) (*Result, error)
 		mFusedBlocks.Add(m.Fusion.Blocks)
 		mFusedSupers.Add(m.Fusion.Fused)
 		mFusedBails.Add(m.Fusion.Bails)
+	case emu.EngineAdaptive:
+		mEngineAdaptive.Inc()
+		mFusedBlocks.Add(m.Fusion.Blocks)
+		mFusedSupers.Add(m.Fusion.Fused)
+		mFusedBails.Add(m.Fusion.Bails)
+		if m.Refusion.Promoted {
+			mRefusionPromoted.Inc()
+		}
 	case emu.EngineFast:
 		mEngineFast.Inc()
 	case emu.EngineInstrumented:
@@ -115,5 +124,6 @@ func execute(ctx context.Context, p *isa.Program, req *Request) (*Result, error)
 		return nil, err
 	}
 	return &Result{Output: m.Output(), Status: status, Stats: m.Stats,
-		Engine: m.Engine(), Fusion: m.Fusion, Timing: Timing{RunNS: runNS}}, nil
+		Engine: m.Engine(), Fusion: m.Fusion, Refusion: m.Refusion,
+		Timing: Timing{RunNS: runNS}}, nil
 }

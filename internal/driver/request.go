@@ -54,6 +54,11 @@ type Request struct {
 	// emu.BlockProfile). Must be sized for the program's Text; profiling
 	// does not force the instrumented engine.
 	Profile *emu.BlockProfile
+	// PromoteThreshold tunes the adaptive tier's promotion trigger
+	// (emu.Machine.PromoteThreshold): 0 means the emulator default,
+	// negative disables promotion. Ignored unless Loop is
+	// emu.LoopAdaptive.
+	PromoteThreshold int64
 }
 
 // Validate rejects requests the driver cannot honor.
@@ -96,6 +101,9 @@ func (r *Request) Fingerprint() string {
 	}
 	if r.Profile != nil {
 		fp += fmt.Sprintf("|prof=%p", r.Profile)
+	}
+	if r.PromoteThreshold != 0 {
+		fp += fmt.Sprintf("|pt=%d", r.PromoteThreshold)
 	}
 	return fp
 }

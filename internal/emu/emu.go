@@ -165,6 +165,18 @@ type Machine struct {
 	// Loop selects the execution engine; the zero value (LoopAuto) uses the
 	// fast loop whenever no hooks are installed and no fault plan is armed.
 	Loop LoopMode
+
+	// PromoteThreshold is the adaptive tier's promotion trigger: a block
+	// arrival count at or above it promotes the program to a re-fused
+	// form (see adaptive.go). Zero means DefaultPromoteThreshold;
+	// negative disables promotion (the adaptive tier then runs the plain
+	// fast loop). Ignored by every other LoopMode.
+	PromoteThreshold int64
+
+	// Refusion describes what the adaptive tier did for the last run
+	// (zero value for unpromoted runs and other engines). Like Fusion it
+	// is not part of Stats: Stats stay identical across tiers.
+	Refusion RefusionStats
 }
 
 // isFuncEntry reports whether Text index idx begins a function. Transfer
@@ -256,6 +268,7 @@ const ctxCheckStride = 1 << 16
 func (m *Machine) RunContext(ctx context.Context) (int32, error) {
 	fast := false
 	fused := false
+	adaptive := false
 	switch m.Loop {
 	case LoopFast:
 		if m.hooksInstalled() || m.faults != nil {
@@ -267,10 +280,17 @@ func (m *Machine) RunContext(ctx context.Context) (int32, error) {
 			return 0, fmt.Errorf("emu: LoopFused cannot honor hooks or fault plans")
 		}
 		fused = true
+	case LoopAdaptive:
+		if m.hooksInstalled() || m.faults != nil {
+			return 0, fmt.Errorf("emu: LoopAdaptive cannot honor hooks or fault plans")
+		}
+		adaptive = true
 	case LoopAuto:
 		fused = !m.hooksInstalled() && m.faults == nil
 	}
 	switch {
+	case adaptive:
+		m.engine = EngineAdaptive
 	case fused:
 		m.engine = EngineFused
 	case fast:
@@ -286,7 +306,7 @@ func (m *Machine) RunContext(ctx context.Context) (int32, error) {
 	}
 	var status int32
 	var err error
-	if fast || fused {
+	if fast || fused || adaptive {
 		if m.dec == nil {
 			m.dec = predecode(m.P)
 		}
@@ -298,6 +318,8 @@ func (m *Machine) RunContext(ctx context.Context) (int32, error) {
 		// fastloop_prof.go for why the twins are separate functions).
 		baseline := m.P.Kind == isa.Baseline
 		switch {
+		case adaptive:
+			status, err = m.runAdaptive(ctx)
 		case fused && baseline && m.Prof != nil:
 			status, err = runFusedBaselineProf(m, ctx, m.Prof)
 		case fused && baseline:

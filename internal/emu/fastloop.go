@@ -41,6 +41,14 @@ const (
 	// rewritten into superinstructions, and the step budget checked once
 	// per block. Like LoopFast it cannot honor hooks or fault plans.
 	LoopFused
+	// LoopAdaptive is the tiered-promotion engine (adaptive.go): cold
+	// programs warm up in the profiled fast loop, and once a block's
+	// arrival count crosses Machine.PromoteThreshold the program is
+	// re-fused with a vocabulary mined from its own profile and the run
+	// continues in the fused engine. Promotion state is shared across
+	// runs of the same program. Like LoopFast it cannot honor hooks or
+	// fault plans.
+	LoopAdaptive
 )
 
 // hooksInstalled reports whether any observation hook is set.

@@ -215,6 +215,24 @@ m.B[isa.RABr] = breg{addr: seq, calcTime: now, viaCmp: true, valid: true}
 	"brcalc": {label: "Brcalc", kind: "uBrCalcAbs", brm: true, now: true, code: func(s slotRefs) string {
 		return fmt.Sprintf("st.BrCalcs++\nm.B[%s] = breg{addr: %s, calcTime: now, valid: true}", s.rd, s.imm)
 	}},
+	"subi": {label: "Subi", kind: "uSubImm", code: func(s slotRefs) string {
+		return fmt.Sprintf("if %s != 0 {\nR[%s] = R[%s] - %s\n}", s.rd, s.rd, s.rs1, s.imm)
+	}},
+	"lw": {label: "Lw", kind: "uLwReg", code: func(s slotRefs) string {
+		return fmt.Sprintf(`st.Loads++
+{
+a := R[%s] + R[%s]
+if a < 0 || int(a)+4 > len(mem) {
+return 0, m.fastTrap(%s, insts, TrapOOBLoad, "load out of range: %%#x", uint32(a))
+}
+if a%%isa.WordSize != 0 {
+return 0, m.fastTrap(%s, insts, TrapMisaligned, "misaligned word load: %%#x", uint32(a))
+}
+if %s != 0 {
+R[%s] = int32(binary.LittleEndian.Uint32(mem[a:]))
+}
+}`, s.rs1, s.rs2, s.pc, s.pc, s.rd, s.rd)
+	}},
 }
 
 // pairSel and tripleSel are the fused superinstruction selection, in
@@ -242,9 +260,42 @@ var tripleSel = [][]string{
 	{"add", "lbi", "cmpbri"}, {"brcalc", "const", "addi"},
 }
 
-// fusedSelections returns every selection, pairs first, in kind order.
+// pairSelExt and tripleSelExt are the *extended candidate* vocabulary for
+// the adaptive tier (DESIGN §13): adjacencies that fall below the static
+// selection's global ~1% cutoff but dominate individual workloads — e.g.
+// tinycc retires >2% of its instructions in addi+cmpi, slli+const and
+// const+addi+lwi, none of which earn a global slot. The static tables
+// above never consult these (the fused tier's decode is frozen as the
+// comparison baseline); only the adaptive builder does, and only for
+// patterns the program's own profile proves hot. Appending after the
+// static selection keeps the static kind constants stable.
+var pairSelExt = [][]string{
+	{"addi", "cmpi"}, {"addi", "cmpbri"}, {"slli", "const"}, {"ori", "addi"},
+	{"addi", "addi"}, {"add", "const"}, {"lwi", "swi"}, {"lwi", "slli"},
+	{"ori", "const"}, {"addi", "subi"}, {"subi", "slli"}, {"swi", "addi"},
+	{"ori", "ori"}, {"addi", "lw"}, {"fadd", "fmul"}, {"lfi", "fmul"},
+	{"addi", "lfi"}, {"add", "add"}, {"slli", "addi"}, {"lbi", "addi"},
+	{"lbi", "sbi"}, {"sbi", "lbi"}, {"addi", "lbi"}, {"lbi", "add"},
+	{"const", "cmpi"}, {"const", "cmp"}, {"add", "cmpi"}, {"add", "cmpbri"},
+	{"const", "sbi"}, {"swi", "const"},
+}
+
+var tripleSelExt = [][]string{
+	{"const", "addi", "lwi"}, {"addi", "lwi", "cmp"}, {"addi", "lwi", "cmpbr"},
+	{"add", "lwi", "addi"}, {"lwi", "addi", "cmpi"}, {"lwi", "addi", "cmpbri"},
+	{"slli", "const", "addi"}, {"swi", "addi", "ori"}, {"const", "addi", "addi"},
+	{"add", "const", "addi"}, {"addi", "addi", "slli"}, {"addi", "ori", "addi"},
+	{"add", "lwi", "swi"}, {"lwi", "swi", "addi"}, {"slli", "add", "const"},
+	{"lwi", "slli", "add"}, {"ori", "const", "addi"}, {"addi", "subi", "slli"},
+	{"const", "addi", "subi"}, {"subi", "slli", "add"}, {"lfi", "const", "addi"},
+	{"add", "lfi", "const"}, {"fadd", "fmul", "fadd"}, {"fmul", "fadd", "fmul"},
+}
+
+// fusedSelections returns every selection — static pairs, static triples,
+// then the extended candidates — in kind order.
 func fusedSelections() [][]string {
-	return append(append([][]string{}, pairSel...), tripleSel...)
+	sel := append(append([][]string{}, pairSel...), tripleSel...)
+	return append(append(sel, pairSelExt...), tripleSelExt...)
 }
 
 func fusedKindName(ops []string) string {
@@ -354,6 +405,32 @@ func fuseTriple(a, b, c uopKind) (uopKind, bool) {
 switch {
 `)
 	for _, ops := range tripleSel {
+		fmt.Fprintf(&sb, "case a == %s && b == %s && c == %s:\nreturn %s, true\n",
+			vocab[ops[0]].kind, vocab[ops[1]].kind, vocab[ops[2]].kind, fusedKindName(ops))
+	}
+	sb.WriteString(`}
+return 0, false
+}
+
+// fusePairExt reports the fused kind for a pair in the extended candidate
+// vocabulary (adaptive tier only; the static fused tier never consults it).
+func fusePairExt(a, b uopKind) (uopKind, bool) {
+switch {
+`)
+	for _, ops := range pairSelExt {
+		fmt.Fprintf(&sb, "case a == %s && b == %s:\nreturn %s, true\n",
+			vocab[ops[0]].kind, vocab[ops[1]].kind, fusedKindName(ops))
+	}
+	sb.WriteString(`}
+return 0, false
+}
+
+// fuseTripleExt reports the fused kind for a triple in the extended
+// candidate vocabulary (adaptive tier only).
+func fuseTripleExt(a, b, c uopKind) (uopKind, bool) {
+switch {
+`)
+	for _, ops := range tripleSelExt {
 		fmt.Fprintf(&sb, "case a == %s && b == %s && c == %s:\nreturn %s, true\n",
 			vocab[ops[0]].kind, vocab[ops[1]].kind, vocab[ops[2]].kind, fusedKindName(ops))
 	}

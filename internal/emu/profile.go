@@ -78,6 +78,7 @@ const (
 	EngineFast         = "fast"
 	EngineInstrumented = "instrumented"
 	EngineFused        = "fused"
+	EngineAdaptive     = "adaptive"
 )
 
 // Engine returns the name of the engine the last RunContext call used

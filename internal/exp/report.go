@@ -36,7 +36,15 @@ import (
 // that ran fused gain baseline_fusion/brm_fusion objects (blocks entered,
 // instructions retired inside superinstructions, hand-offs to the fast
 // loop). All three counts are byte-deterministic at any parallelism.
-const ReportSchemaVersion = 4
+//
+// v5: the adaptive tier — baseline_engine/brm_engine may read "adaptive"
+// (explicit -engine adaptive runs), and such cells gain
+// baseline_refusion/brm_refusion objects (whether the run executed a
+// promoted form, the hot/cold block split, the mined vocabulary size and
+// warmup volume) next to the fusion counters the promoted form shares
+// with the static fused engine. Deterministic for the first adaptive run
+// of each compiled program, which is what a suite cell is.
+const ReportSchemaVersion = 5
 
 // Float is a float64 that survives JSON: non-finite values (the ±Inf a
 // degenerate percentage cell reports, see pct) marshal as the strings
@@ -346,9 +354,14 @@ type ProgramReport struct {
 	BaselineEngine string `json:"baseline_engine,omitempty"`
 	BRMEngine      string `json:"brm_engine,omitempty"`
 	// Fusion fields (schema v4) describe the block-fused engine's dynamic
-	// behavior; present exactly when the cell's engine is "fused".
+	// behavior; present exactly when the cell's engine is "fused" or
+	// "adaptive" (the promoted form runs the same fused dispatch).
 	BaselineFusion *emu.FusionStats `json:"baseline_fusion,omitempty"`
 	BRMFusion      *emu.FusionStats `json:"brm_fusion,omitempty"`
+	// Refusion fields (schema v5) describe the adaptive tier's promotion
+	// behavior; present exactly when the cell's engine is "adaptive".
+	BaselineRefusion *emu.RefusionStats `json:"baseline_refusion,omitempty"`
+	BRMRefusion      *emu.RefusionStats `json:"brm_refusion,omitempty"`
 	// Hot-block tables (schema v3, -profile runs only): the program's
 	// hottest dynamic basic blocks with paper-style branch-cost
 	// attribution.
@@ -437,13 +450,21 @@ func (a *AllResults) Report() *Report {
 				BaselineHotBlocks: p.BaselineBlocks,
 				BRMHotBlocks:      p.BRMBlocks,
 			}
-			if p.BaselineEngine == emu.EngineFused {
+			if p.BaselineEngine == emu.EngineFused || p.BaselineEngine == emu.EngineAdaptive {
 				f := p.BaselineFusion
 				pr.BaselineFusion = &f
 			}
-			if p.BRMEngine == emu.EngineFused {
+			if p.BRMEngine == emu.EngineFused || p.BRMEngine == emu.EngineAdaptive {
 				f := p.BRMFusion
 				pr.BRMFusion = &f
+			}
+			if p.BaselineEngine == emu.EngineAdaptive {
+				r := p.BaselineRefusion
+				pr.BaselineRefusion = &r
+			}
+			if p.BRMEngine == emu.EngineAdaptive {
+				r := p.BRMRefusion
+				pr.BRMRefusion = &r
 			}
 			sr.Programs = append(sr.Programs, pr)
 		}

@@ -217,6 +217,8 @@ func (s *Supervisor) Incidents() ([]Incident, int64) { return s.log.snapshot() }
 // tierName maps an engine tier to its emu engine name.
 func tierName(mode emu.LoopMode) string {
 	switch mode {
+	case emu.LoopAdaptive:
+		return emu.EngineAdaptive
 	case emu.LoopFused:
 		return emu.EngineFused
 	case emu.LoopFast:
@@ -236,7 +238,12 @@ func chainFor(req *driver.Request) []emu.LoopMode {
 		return nil
 	}
 	switch req.Loop {
-	case emu.LoopAuto, emu.LoopFused:
+	case emu.LoopAuto, emu.LoopAdaptive:
+		// Default (and explicitly adaptive) requests lead with the
+		// adaptive tier: brserve's long-lived cached programs are exactly
+		// the regime where runtime re-fusion amortizes its warmup.
+		return []emu.LoopMode{emu.LoopAdaptive, emu.LoopFused, emu.LoopFast, emu.LoopInstrumented}
+	case emu.LoopFused:
 		return []emu.LoopMode{emu.LoopFused, emu.LoopFast, emu.LoopInstrumented}
 	case emu.LoopFast:
 		return []emu.LoopMode{emu.LoopFast, emu.LoopInstrumented}

@@ -64,10 +64,10 @@ func counter(r *obs.Registry, name string) int64 {
 	return r.Counter(name).Value()
 }
 
-func TestFallbackRescuesFusedPanic(t *testing.T) {
+func TestFallbackRescuesAdaptivePanic(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := New(Config{
-		Exec:    tierExec(map[emu.LoopMode]func() (*driver.Result, error){emu.LoopFused: panicOn}),
+		Exec:    tierExec(map[emu.LoopMode]func() (*driver.Result, error){emu.LoopAdaptive: panicOn}),
 		Metrics: reg,
 	})
 	defer s.Close()
@@ -76,11 +76,11 @@ func TestFallbackRescuesFusedPanic(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Exec: %v", err)
 	}
-	if out.Tier != emu.EngineFast {
-		t.Errorf("Tier = %q, want %q", out.Tier, emu.EngineFast)
+	if out.Tier != emu.EngineFused {
+		t.Errorf("Tier = %q, want %q", out.Tier, emu.EngineFused)
 	}
-	if len(out.FallbackFrom) != 1 || out.FallbackFrom[0] != emu.EngineFused {
-		t.Errorf("FallbackFrom = %v, want [fused]", out.FallbackFrom)
+	if len(out.FallbackFrom) != 1 || out.FallbackFrom[0] != emu.EngineAdaptive {
+		t.Errorf("FallbackFrom = %v, want [adaptive]", out.FallbackFrom)
 	}
 	if out.Rerouted {
 		t.Error("Rerouted = true on a first-try fallback")
@@ -97,6 +97,7 @@ func TestFallbackExhausted(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := New(Config{
 		Exec: tierExec(map[emu.LoopMode]func() (*driver.Result, error){
+			emu.LoopAdaptive:     panicOn,
 			emu.LoopFused:        panicOn,
 			emu.LoopFast:         panicOn,
 			emu.LoopInstrumented: panicOn,
@@ -126,11 +127,11 @@ func TestFallbackExhausted(t *testing.T) {
 func TestBreakerLifecycle(t *testing.T) {
 	reg := obs.NewRegistry()
 	clock := newFakeClock()
-	var fusedHealthy atomic.Bool
+	var adaptiveHealthy atomic.Bool
 	exec := tierExec(map[emu.LoopMode]func() (*driver.Result, error){
-		emu.LoopFused: func() (*driver.Result, error) {
-			if fusedHealthy.Load() {
-				return &driver.Result{Output: "ok", Engine: emu.EngineFused}, nil
+		emu.LoopAdaptive: func() (*driver.Result, error) {
+			if adaptiveHealthy.Load() {
+				return &driver.Result{Output: "ok", Engine: emu.EngineAdaptive}, nil
 			}
 			panic("injected engine bug")
 		},
@@ -141,12 +142,12 @@ func TestBreakerLifecycle(t *testing.T) {
 	ctx := context.Background()
 	class := "sieve/branchreg"
 
-	// Three consecutive fused panics: every request is rescued by the
-	// fast tier, and the third opens the breaker.
+	// Three consecutive adaptive panics: every request is rescued by the
+	// fused tier, and the third opens the breaker.
 	for i := 0; i < 3; i++ {
 		out, err := s.Exec(ctx, class, driver.Request{Loop: emu.LoopAuto})
-		if err != nil || out.Tier != emu.EngineFast {
-			t.Fatalf("request %d: out=%+v err=%v, want fast-tier rescue", i, out, err)
+		if err != nil || out.Tier != emu.EngineFused {
+			t.Fatalf("request %d: out=%+v err=%v, want fused-tier rescue", i, out, err)
 		}
 	}
 	if n := counter(reg, "guard.breaker.open"); n != 1 {
@@ -156,13 +157,13 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Errorf("guard.breaker.open_now = %d, want 1", n)
 	}
 
-	// Open: the fused tier is skipped without being attempted.
+	// Open: the adaptive tier is skipped without being attempted.
 	out, err := s.Exec(ctx, class, driver.Request{Loop: emu.LoopAuto})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !out.Rerouted || out.Tier != emu.EngineFast || len(out.FallbackFrom) != 0 {
-		t.Fatalf("open breaker: got %+v, want rerouted fast-tier result with no fallback", out)
+	if !out.Rerouted || out.Tier != emu.EngineFused || len(out.FallbackFrom) != 0 {
+		t.Fatalf("open breaker: got %+v, want rerouted fused-tier result with no fallback", out)
 	}
 	if n := counter(reg, "guard.breaker.reroute"); n != 1 {
 		t.Errorf("guard.breaker.reroute = %d, want 1", n)
@@ -176,11 +177,11 @@ func TestBreakerLifecycle(t *testing.T) {
 
 	// Cooldown elapses and the engine is healthy again: the next request
 	// probes half-open, succeeds, and closes the breaker.
-	fusedHealthy.Store(true)
+	adaptiveHealthy.Store(true)
 	clock.advance(cooldown + time.Second)
 	out, err = s.Exec(ctx, class, driver.Request{Loop: emu.LoopAuto})
-	if err != nil || out.Tier != emu.EngineFused {
-		t.Fatalf("probe: out=%+v err=%v, want fused-tier success", out, err)
+	if err != nil || out.Tier != emu.EngineAdaptive {
+		t.Fatalf("probe: out=%+v err=%v, want adaptive-tier success", out, err)
 	}
 	if n := counter(reg, "guard.breaker.half_open"); n != 1 {
 		t.Errorf("guard.breaker.half_open = %d, want 1", n)
@@ -202,7 +203,7 @@ func TestBreakerLifecycle(t *testing.T) {
 func TestBreakerProbeFailureReopens(t *testing.T) {
 	reg := obs.NewRegistry()
 	clock := newFakeClock()
-	exec := tierExec(map[emu.LoopMode]func() (*driver.Result, error){emu.LoopFused: panicOn})
+	exec := tierExec(map[emu.LoopMode]func() (*driver.Result, error){emu.LoopAdaptive: panicOn})
 	const cooldown = time.Minute
 	s := New(Config{Exec: exec, Threshold: 2, Cooldown: cooldown, Metrics: reg, Now: clock.now})
 	defer s.Close()
@@ -295,13 +296,13 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // records an incident and immediately quarantines the served tier.
 func TestShadowMismatchQuarantines(t *testing.T) {
 	reg := obs.NewRegistry()
-	// The fused tier answers "AA", the fast tier "BB": every shadow of a
-	// fused response mismatches.
+	// The adaptive tier answers "AA", every other tier "BB": every shadow
+	// of an adaptive response mismatches.
 	exec := ExecFunc(func(ctx context.Context, class string, req driver.Request) (*driver.Result, error) {
-		if req.Loop == emu.LoopFused {
-			return &driver.Result{Output: "AA", Engine: emu.EngineFused}, nil
+		if req.Loop == emu.LoopAdaptive {
+			return &driver.Result{Output: "AA", Engine: emu.EngineAdaptive}, nil
 		}
-		return &driver.Result{Output: "BB", Engine: emu.EngineFast}, nil
+		return &driver.Result{Output: "BB", Engine: emu.EngineFused}, nil
 	})
 	s := New(Config{Exec: exec, ShadowRate: 1, Metrics: reg})
 	defer s.Close()
@@ -309,8 +310,8 @@ func TestShadowMismatchQuarantines(t *testing.T) {
 	class := "wordcount/branchreg"
 
 	out, err := s.Exec(ctx, class, driver.Request{Loop: emu.LoopAuto})
-	if err != nil || out.Tier != emu.EngineFused {
-		t.Fatalf("primary: out=%+v err=%v, want fused success", out, err)
+	if err != nil || out.Tier != emu.EngineAdaptive {
+		t.Fatalf("primary: out=%+v err=%v, want adaptive success", out, err)
 	}
 	waitFor(t, "shadow mismatch", func() bool { return counter(reg, "guard.shadow.mismatch") >= 1 })
 
@@ -318,13 +319,13 @@ func TestShadowMismatchQuarantines(t *testing.T) {
 	if kinds[IncidentShadowMismatch] < 1 || kinds[IncidentBreakerOpen] < 1 {
 		t.Fatalf("incidents = %v, want shadow-mismatch plus quarantine breaker-open", kinds)
 	}
-	// The quarantine reroutes the class off the fused tier at once.
+	// The quarantine reroutes the class off the adaptive tier at once.
 	out, err = s.Exec(ctx, class, driver.Request{Loop: emu.LoopAuto})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !out.Rerouted || out.Tier != emu.EngineFast {
-		t.Fatalf("post-quarantine: got %+v, want rerouted fast-tier result", out)
+	if !out.Rerouted || out.Tier != emu.EngineFused {
+		t.Fatalf("post-quarantine: got %+v, want rerouted fused-tier result", out)
 	}
 }
 
@@ -384,13 +385,13 @@ func TestIncidentRingBounded(t *testing.T) {
 }
 
 // TestSupervisorConcurrentChaos hammers one supervisor from many
-// goroutines while the fused tier panics intermittently — run under
+// goroutines while the adaptive tier panics intermittently — run under
 // -race, every request must still be rescued.
 func TestSupervisorConcurrentChaos(t *testing.T) {
 	reg := obs.NewRegistry()
 	var n atomic.Int64
 	exec := ExecFunc(func(ctx context.Context, class string, req driver.Request) (*driver.Result, error) {
-		if req.Loop == emu.LoopFused && n.Add(1)%3 == 0 {
+		if req.Loop == emu.LoopAdaptive && n.Add(1)%3 == 0 {
 			panic("intermittent engine bug")
 		}
 		return &driver.Result{Output: "ok:" + class, Engine: tierName(req.Loop)}, nil

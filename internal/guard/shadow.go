@@ -91,6 +91,8 @@ func (p *shadowPool) worker() {
 // tier exists; the instrumented loop is the reference semantics).
 func altTier(mode emu.LoopMode) (emu.LoopMode, bool) {
 	switch mode {
+	case emu.LoopAdaptive:
+		return emu.LoopFused, true
 	case emu.LoopFused:
 		return emu.LoopFast, true
 	case emu.LoopFast:

@@ -40,8 +40,8 @@ type RunRequest struct {
 	// Input keeps the workload's canonical input; an explicit empty
 	// string clears it.
 	Input *string `json:"input,omitempty"`
-	// Engine selects the emulator loop: "auto" (default), "fused",
-	// "fast", or "step".
+	// Engine selects the emulator loop: "auto" (default), "adaptive",
+	// "fused", "fast", or "step".
 	Engine string `json:"engine,omitempty"`
 	// Tenant names the caller for per-tenant step-budget caps.
 	Tenant string `json:"tenant,omitempty"`
@@ -107,16 +107,20 @@ type Timing struct {
 // trap) with Trap set; a compile or validation failure returns 4xx with
 // Error set.
 type RunResponse struct {
-	Output       string           `json:"output,omitempty"`
-	Status       int32            `json:"status"`
-	Machine      string           `json:"machine,omitempty"`
-	Engine       string           `json:"engine,omitempty"`
-	Fusion       *emu.FusionStats `json:"fusion,omitempty"`
-	Instructions int64            `json:"instructions,omitempty"`
-	Transfers    int64            `json:"transfers,omitempty"`
-	DataRefs     int64            `json:"data_refs,omitempty"`
-	Trap         *emu.Trap        `json:"trap,omitempty"`
-	Error        string           `json:"error,omitempty"`
+	Output  string           `json:"output,omitempty"`
+	Status  int32            `json:"status"`
+	Machine string           `json:"machine,omitempty"`
+	Engine  string           `json:"engine,omitempty"`
+	Fusion  *emu.FusionStats `json:"fusion,omitempty"`
+	// Refusion reports the adaptive tier's promotion state for this
+	// program: whether its hot region has been re-fused with a mined
+	// per-workload vocabulary, and the resulting block/vocabulary mix.
+	Refusion     *emu.RefusionStats `json:"refusion,omitempty"`
+	Instructions int64              `json:"instructions,omitempty"`
+	Transfers    int64              `json:"transfers,omitempty"`
+	DataRefs     int64              `json:"data_refs,omitempty"`
+	Trap         *emu.Trap          `json:"trap,omitempty"`
+	Error        string             `json:"error,omitempty"`
 	// Coalesced marks a response served from another identical in-flight
 	// request's execution.
 	Coalesced bool    `json:"coalesced,omitempty"`
@@ -166,6 +170,8 @@ func parseEngine(s string) (emu.LoopMode, error) {
 	switch s {
 	case "", "auto":
 		return emu.LoopAuto, nil
+	case "adaptive":
+		return emu.LoopAdaptive, nil
 	case "fused":
 		return emu.LoopFused, nil
 	case "fast":
@@ -173,7 +179,7 @@ func parseEngine(s string) (emu.LoopMode, error) {
 	case "step", "instrumented":
 		return emu.LoopInstrumented, nil
 	}
-	return 0, badRequest("unknown engine %q (want auto, fused, fast, or step)", s)
+	return 0, badRequest("unknown engine %q (want auto, adaptive, fused, fast, or step)", s)
 }
 
 // buildRequest translates the wire request into a driver.Request plus

@@ -71,6 +71,12 @@ type LoadResult struct {
 	P99NS      int64   `json:"p99_ns"`
 	WallNS     int64   `json:"wall_ns"`
 	ReqPerSec  float64 `json:"req_s"`
+	// Engines counts the verified successful responses by the engine
+	// tier that served them ("adaptive", "fused", "fast", ...), so a
+	// load run records which tiers actually carried the traffic — a
+	// run rescued mostly by fallback tiers is a different result than
+	// one served by the chain head, even at the same throughput.
+	Engines map[string]int `json:"engines,omitempty"`
 	// Failures holds the first few failed requests (capped) so a failing
 	// run is diagnosable from the result alone.
 	Failures []LoadFailure `json:"failures,omitempty"`
@@ -132,6 +138,7 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 		mu        sync.Mutex
 		latencies []int64
 		failures  []LoadFailure
+		engines   = map[string]int{}
 	)
 	const maxFailures = 16
 	fail := func(c loadCell, code int, err error) {
@@ -178,6 +185,9 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 				}
 				mu.Lock()
 				latencies = append(latencies, lat)
+				if resp.Engine != "" {
+					engines[resp.Engine]++
+				}
 				mu.Unlock()
 				done.Add(1)
 			}
@@ -193,6 +203,7 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 		Retries503: int(retries503.Load()),
 		Coalesced:  int(coalesced.Load()),
 		WallNS:     time.Since(start).Nanoseconds(),
+		Engines:    engines,
 		Failures:   failures,
 	}
 	if res.WallNS > 0 {

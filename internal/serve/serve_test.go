@@ -93,11 +93,17 @@ func TestServeTable(t *testing.T) {
 					t.Errorf("served output diverges from driver.Exec: %q/%d vs %q/%d",
 						resp.Output, resp.Status, want.Output, want.Status)
 				}
-				if resp.Machine != "branchreg" || resp.Engine != emu.EngineFused {
+				if resp.Machine != "branchreg" || resp.Engine != emu.EngineAdaptive {
 					t.Errorf("machine/engine = %q/%q", resp.Machine, resp.Engine)
 				}
+				// Sieve's hot blocks cross the default promotion threshold
+				// mid-run, so even a cold first request reports a re-fused
+				// hot region.
+				if resp.Refusion == nil || !resp.Refusion.Promoted {
+					t.Errorf("adaptive run did not promote: %+v", resp.Refusion)
+				}
 				if resp.Fusion == nil || resp.Fusion.Blocks == 0 {
-					t.Errorf("fused run reported no fusion stats: %+v", resp.Fusion)
+					t.Errorf("promoted run reported no fusion stats: %+v", resp.Fusion)
 				}
 				if resp.Instructions != want.Stats.Instructions {
 					t.Errorf("instructions = %d, want %d", resp.Instructions, want.Stats.Instructions)
@@ -275,6 +281,9 @@ func TestServeQueueFull(t *testing.T) {
 		defer sh.mu.Unlock()
 		return len(sh.queue) == 1
 	})
+	if n := reg.Gauge("serve.queue.depth.0").Value(); n != 1 {
+		t.Errorf("serve.queue.depth.0 = %d with one queued job, want 1", n)
+	}
 	// Third distinct request finds the queue full.
 	code, resp := post(t, ts.URL, &RunRequest{Workload: "grep"})
 	if code != 429 {
@@ -291,6 +300,44 @@ func TestServeQueueFull(t *testing.T) {
 		if r.code != 200 {
 			t.Errorf("admitted request finished with HTTP %d: %+v", r.code, r.resp)
 		}
+	}
+}
+
+// TestRetryAfterHint pins the load-scaled backpressure hint: depth ×
+// EWMA job duration across the shard's workers, clamped to [1, 30]
+// whole seconds, with the constant 1 before any sample exists.
+func TestRetryAfterHint(t *testing.T) {
+	s := &Server{workersPerShard: 2}
+	if got := s.retryAfterHint(8); got != "1" {
+		t.Errorf("hint with no samples = %q, want 1", got)
+	}
+	s.ewmaNS.Store(int64(500 * time.Millisecond))
+	// 8 queued × 0.5s / 2 workers = 2s to drain.
+	if got := s.retryAfterHint(8); got != "2" {
+		t.Errorf("hint(depth 8, ewma 500ms, 2 workers) = %q, want 2", got)
+	}
+	// Sub-second drain still answers at least 1.
+	if got := s.retryAfterHint(1); got != "1" {
+		t.Errorf("hint(depth 1) = %q, want 1", got)
+	}
+	// A pathological backlog is clamped, not reported verbatim.
+	s.ewmaNS.Store(int64(20 * time.Second))
+	if got := s.retryAfterHint(64); got != "30" {
+		t.Errorf("hint(huge backlog) = %q, want the 30s clamp", got)
+	}
+}
+
+// TestObserveJobDuration: first sample seeds the EWMA, later samples
+// move it by 1/8 of the difference.
+func TestObserveJobDuration(t *testing.T) {
+	s := &Server{}
+	s.observeJobDuration(800)
+	if got := s.ewmaNS.Load(); got != 800 {
+		t.Fatalf("seed sample: ewma = %d, want 800", got)
+	}
+	s.observeJobDuration(1600)
+	if got := s.ewmaNS.Load(); got != 900 {
+		t.Fatalf("second sample: ewma = %d, want 900 (800 + (1600-800)/8)", got)
 	}
 }
 

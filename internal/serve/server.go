@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,6 +131,9 @@ type shard struct {
 	closed   bool
 	queue    chan *job
 	inflight map[string]*job
+	// depth exports the queue's occupancy as serve.queue.depth.<i>, so
+	// /metrics shows where admission pressure concentrates.
+	depth *obs.Gauge
 }
 
 // Server is the compile-and-run service. Create with New, expose via
@@ -146,6 +150,11 @@ type Server struct {
 	draining atomic.Bool
 	running  atomic.Int64
 	start    time.Time
+
+	// ewmaNS tracks recent job wall clocks (EWMA, α=1/8) so the 429
+	// Retry-After hint reflects how fast the queue actually drains.
+	ewmaNS          atomic.Int64
+	workersPerShard int
 
 	// gate, when non-nil, is received from before each job executes —
 	// a test hook that makes queue-full behavior deterministic.
@@ -207,11 +216,13 @@ func New(cfg Config) *Server {
 		IncidentCap:   cfg.IncidentCap,
 		Metrics:       cfg.Metrics,
 	})
+	s.workersPerShard = max(1, cfg.Workers/cfg.Shards)
 	perShard := max(1, cfg.QueueDepth/cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, &shard{
 			queue:    make(chan *job, perShard),
 			inflight: map[string]*job{},
+			depth:    cfg.Metrics.Gauge(fmt.Sprintf("serve.queue.depth.%d", i)),
 		})
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -270,10 +281,43 @@ func (s *Server) shardFor(fp string) *shard {
 // errInternal marks a worker panic: the only path to a 500.
 var errInternal = errors.New("internal error")
 
+// observeJobDuration folds one job's execution wall clock into the
+// EWMA the Retry-After hint is scaled by (α = 1/8; the first sample
+// seeds the average).
+func (s *Server) observeJobDuration(ns int64) {
+	for {
+		old := s.ewmaNS.Load()
+		nw := old + (ns-old)/8
+		if old == 0 {
+			nw = ns
+		}
+		if s.ewmaNS.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// retryAfterHint scales a 429's Retry-After by observed load instead
+// of a constant: the refusing shard's queue depth times the EWMA job
+// duration, spread across the shard's workers, is the expected time
+// until a slot frees — clamped to [1, 30] whole seconds (RFC 9110
+// Retry-After is integral). Before any job has completed the hint
+// stays at the old constant 1.
+func (s *Server) retryAfterHint(depth int) string {
+	ewma := s.ewmaNS.Load()
+	if ewma <= 0 || depth <= 0 {
+		return "1"
+	}
+	denom := int64(s.workersPerShard) * int64(time.Second)
+	secs := (int64(depth)*ewma + denom - 1) / denom
+	return strconv.FormatInt(min(max(secs, 1), 30), 10)
+}
+
 // worker executes jobs from one shard's queue until Drain closes it.
 func (s *Server) worker(sh *shard) {
 	defer s.workers.Done()
 	for j := range sh.queue {
+		sh.depth.Set(int64(len(sh.queue)))
 		if s.gate != nil {
 			<-s.gate
 		}
@@ -283,7 +327,9 @@ func (s *Server) worker(sh *shard) {
 		j.queueNS = time.Since(j.enq).Nanoseconds()
 		s.m.queueWait.Observe(j.queueNS)
 		s.m.inflight.Set(s.running.Add(1))
+		runStart := time.Now()
 		j.out, j.err = s.execJob(j)
+		s.observeJobDuration(time.Since(runStart).Nanoseconds())
 		s.m.inflight.Set(s.running.Add(-1))
 		// Remove from the coalescing table before publishing: an
 		// identical request arriving after done closes must start a
@@ -363,10 +409,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		select {
 		case sh.queue <- j:
 			sh.inflight[fp] = j
+			sh.depth.Set(int64(len(sh.queue)))
 		default:
 			sh.mu.Unlock()
 			s.m.queueFull.Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterHint(len(sh.queue)))
 			writeJSON(w, 429, &RunResponse{Error: "queue full, retry later"})
 			return
 		}
@@ -403,9 +450,13 @@ func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, coa
 		resp.Engine = res.Engine
 		resp.FallbackFrom = j.out.FallbackFrom
 		resp.Rerouted = j.out.Rerouted
-		if res.Engine == emu.EngineFused {
+		if res.Engine == emu.EngineFused || res.Engine == emu.EngineAdaptive {
 			f := res.Fusion
 			resp.Fusion = &f
+		}
+		if res.Engine == emu.EngineAdaptive {
+			rf := res.Refusion
+			resp.Refusion = &rf
 		}
 		resp.Instructions = res.Stats.Instructions
 		resp.Transfers = res.Stats.Transfers()
