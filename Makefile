@@ -79,7 +79,11 @@ serve-smoke:
 # brload burst, then audit the supervision layer: every response must
 # stay byte-correct via fallback, the breaker must open AND close, the
 # incident log must show the injected events and zero shadow
-# mismatches, and no request may see an unexplained 5xx.
+# mismatches, and no request may see an unexplained 5xx. The audit also
+# checks the flight recorder end to end: at least one fallback-annotated
+# request must be retrievable by its X-Request-Id with a span tree
+# showing both the panicked tier attempt and the tier that served it
+# (brload propagates its own request IDs via -trace-propagate).
 CHAOS_ADDR ?= 127.0.0.1:8398
 CHAOS_PLAN ?= seed=7,target=sieve,panic-every=1,panic-max=8
 chaos-smoke:
@@ -90,7 +94,7 @@ chaos-smoke:
 	for i in $$(seq 1 50); do \
 		curl -fsS http://$(CHAOS_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
 	done; \
-	/tmp/brload-chaos -url http://$(CHAOS_ADDR) -c 16 -n 304 -max-backoff 25ms -chaos; rc=$$?; \
+	/tmp/brload-chaos -url http://$(CHAOS_ADDR) -c 16 -n 304 -max-backoff 25ms -trace-propagate -chaos; rc=$$?; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -f /tmp/brserve-chaos /tmp/brload-chaos; \
 	exit $$rc

@@ -6,8 +6,15 @@
 // Usage:
 //
 //	brload [-url http://127.0.0.1:8377] [-c 64] [-n requests] [-tenant t]
-//	       [-no-verify] [-json] [-max-backoff 1s]
+//	       [-no-verify] [-json] [-max-backoff 1s] [-trace-propagate]
 //	       [-chaos] [-chaos-probe sieve] [-chaos-timeout 30s]
+//
+// With -trace-propagate, every request carries a brload-generated
+// X-Request-Id (so server-side flight records correlate back to this
+// run), each response must echo it, and the run ends with a table of
+// server-reported per-phase timings (queue/compile/run/total p50 and
+// p99) — where the server says the latency went, next to where the
+// client measured it.
 //
 // With -chaos, after the load run brload audits the server's supervision
 // layer (see serve.ChaosCheck): panics must have been injected and
@@ -41,17 +48,19 @@ func main() {
 	noVerify := flag.Bool("no-verify", false, "skip the local differential oracle")
 	asJSON := flag.Bool("json", false, "print the result as JSON")
 	maxBackoff := flag.Duration("max-backoff", 0, "cap one 429/503 retry sleep (0 = default 1s)")
+	tracePropagate := flag.Bool("trace-propagate", false, "send per-request X-Request-Id and report server-side phase timings")
 	chaosAudit := flag.Bool("chaos", false, "audit the server's supervision layer after the run")
 	chaosProbe := flag.String("chaos-probe", "sieve", "workload probed while waiting for the breaker to close")
 	chaosTimeout := flag.Duration("chaos-timeout", 30*time.Second, "max wait for the chaos audit's counters")
 	flag.Parse()
 
 	spec := serve.LoadSpec{
-		BaseURL:    *url,
-		Clients:    *clients,
-		Requests:   *requests,
-		Tenant:     *tenant,
-		MaxBackoff: *maxBackoff,
+		BaseURL:        *url,
+		Clients:        *clients,
+		Requests:       *requests,
+		Tenant:         *tenant,
+		MaxBackoff:     *maxBackoff,
+		TracePropagate: *tracePropagate,
 	}
 	if spec.Requests <= 0 {
 		spec.Requests = 8 * 19 * 2 // eight sweeps of the workload × machine matrix
@@ -81,6 +90,17 @@ func main() {
 			time.Duration(res.P50NS), time.Duration(res.P99NS))
 		fmt.Printf("throughput %.1f req/s over %s\n",
 			res.ReqPerSec, time.Duration(res.WallNS).Round(time.Millisecond))
+		if len(res.Phases) > 0 {
+			fmt.Printf("server-reported phases (%d samples):\n", res.Requests-res.Errors)
+			fmt.Printf("  %-8s %12s %12s\n", "phase", "p50", "p99")
+			for _, name := range []string{"queue", "compile", "run", "total"} {
+				p, ok := res.Phases[name]
+				if !ok {
+					continue
+				}
+				fmt.Printf("  %-8s %12s %12s\n", name, time.Duration(p.P50NS), time.Duration(p.P99NS))
+			}
+		}
 		for _, f := range res.Failures {
 			fmt.Printf("  FAIL %s/%s (HTTP %d): %s\n", f.Workload, f.Machine, f.Code, f.Err)
 		}

@@ -8,9 +8,13 @@
 //	        [-tenant-budgets name=N,name=N] [-timeout 2m]
 //	        [-breaker-threshold N] [-breaker-cooldown 30s] [-shadow-rate N]
 //	        [-incident-cap N] [-chaos "seed=7,target=sieve,panic-every=1,panic-max=8"]
+//	        [-flight-cap N] [-flight-slow 250ms] [-flight-sample N]
+//	        [-log-sample N] [-pprof]
 //
 // Endpoints: POST /v1/run, GET /v1/workloads, GET /v1/incidents,
-// GET /healthz, GET /metrics.
+// GET /v1/debug/requests[/{id}], GET /healthz, GET /metrics (JSON;
+// ?format=prom for Prometheus text), GET /version, and — with -pprof —
+// /debug/pprof/.
 // SIGINT/SIGTERM starts a graceful drain: admission answers 503, queued
 // jobs finish, then the process exits.
 package main
@@ -19,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +49,11 @@ func main() {
 	shadowRate := flag.Int("shadow-rate", 0, "shadow-verify every Nth success per class (0 = default 32, negative = off)")
 	incidentCap := flag.Int("incident-cap", 0, "incidents retained for /v1/incidents (0 = default 256)")
 	chaosFlag := flag.String("chaos", "", `deterministic chaos plan, e.g. "seed=7,target=sieve,panic-every=1,panic-max=8"`)
+	flightCap := flag.Int("flight-cap", 0, "requests retained for /v1/debug/requests (0 = default 256)")
+	flightSlow := flag.Duration("flight-slow", 0, "retain requests slower than this (0 = default 250ms, negative = off)")
+	flightSample := flag.Int("flight-sample", 0, "retain every Nth request regardless of interest (0 = default 64, negative = off)")
+	logSample := flag.Int("log-sample", 0, "log every Nth ordinary request (0 = errors and fallbacks only)")
+	pprofFlag := flag.Bool("pprof", false, "mount /debug/pprof/ (exposes process internals)")
 	flag.Parse()
 
 	tb, err := parseTenantBudgets(*tenants)
@@ -69,6 +79,12 @@ func main() {
 		ShadowRate:        *shadowRate,
 		IncidentCap:       *incidentCap,
 		Chaos:             chaosPlan,
+		FlightCap:         *flightCap,
+		FlightSlow:        *flightSlow,
+		FlightSample:      *flightSample,
+		Logger:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		LogSample:         *logSample,
+		EnablePprof:       *pprofFlag,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: s}

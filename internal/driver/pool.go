@@ -3,6 +3,7 @@ package driver
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"time"
 
@@ -119,7 +120,9 @@ func execute(ctx context.Context, p *isa.Program, req *Request) (*Result, error)
 	if err != nil {
 		var t *emu.Trap
 		if errors.As(err, &t) {
-			obs.Default.Counter("emu.trap." + t.Kind.String()).Inc()
+			// Trap kinds are kebab-case ("oob-load"); metric segments are
+			// [a-z0-9_], so the hyphens map to underscores.
+			obs.Default.Counter("emu.trap." + strings.ReplaceAll(t.Kind.String(), "-", "_")).Inc()
 		}
 		return nil, err
 	}

@@ -5,10 +5,12 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"time"
 
 	"branchreg/internal/emu"
 	"branchreg/internal/isa"
+	"branchreg/internal/obs"
 )
 
 // Request is the one description of a compile-and-run job that every
@@ -138,7 +140,9 @@ func (c *Cache) Exec(ctx context.Context, req Request) (*Result, error) {
 }
 
 // exec is the shared Exec body, parameterized over how a missing
-// Program is compiled.
+// Program is compiled. When the context carries a request trace (a
+// brserve request), the compile and run phases record spans into it;
+// outside a traced request the spans are nil and cost nothing.
 func exec(ctx context.Context, req Request, compile func(context.Context) (*isa.Program, error)) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -146,21 +150,31 @@ func exec(ctx context.Context, req Request, compile func(context.Context) (*isa.
 	p := req.Program
 	var compileNS int64
 	if p == nil {
+		sp, cctx := obs.StartSpan(ctx, "compile", "driver")
 		start := time.Now()
 		var err error
-		p, err = compile(ctx)
+		p, err = compile(cctx)
+		compileNS = time.Since(start).Nanoseconds()
 		if err != nil {
+			sp.SetArg("error", err.Error())
+			sp.End()
 			return nil, err
 		}
-		compileNS = time.Since(start).Nanoseconds()
+		sp.End()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp, _ := obs.StartSpan(ctx, "run", "driver")
 	res, err := execute(ctx, p, &req)
 	if err != nil {
+		sp.SetArg("error", err.Error())
+		sp.End()
 		return nil, err
 	}
+	sp.SetArg("engine", res.Engine)
+	sp.SetArg("instructions", strconv.FormatInt(res.Stats.Instructions, 10))
+	sp.End()
 	res.Timing.CompileNS = compileNS
 	return res, nil
 }

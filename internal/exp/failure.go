@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"branchreg/internal/emu"
 	"branchreg/internal/obs"
@@ -91,6 +92,8 @@ func newJobError(phase, workload, machine string, compiled bool, err error) *Job
 		je.Kind = FailCompile
 	}
 	// Keep-going failure counts by kind (trap taxonomy or Fail* constant).
-	obs.Default.Counter("exp.fail." + je.Kind).Inc()
+	// Trap-taxonomy kinds are kebab-case ("oob-load"); metric segments
+	// are [a-z0-9_], so the hyphens map to underscores.
+	obs.Default.Counter("exp.fail." + strings.ReplaceAll(je.Kind, "-", "_")).Inc()
 	return je
 }

@@ -263,6 +263,16 @@ func retryable(err error) bool {
 	return errors.As(err, &pe)
 }
 
+// outcomeFor labels a tier attempt's failure for its trace span: a
+// recovered engine panic (the fallback trigger) is "panic", anything
+// deterministic — trap, compile error, caller deadline — is "error".
+func outcomeFor(err error) string {
+	if retryable(err) {
+		return "panic"
+	}
+	return "error"
+}
+
 // attempt runs one tier, converting a panic into a *PanicError. The
 // named return values are what the deferred recover writes into.
 func (s *Supervisor) attempt(ctx context.Context, class string, req driver.Request, tier string) (res *driver.Result, err error) {
@@ -283,10 +293,16 @@ func (s *Supervisor) attempt(ctx context.Context, class string, req driver.Reque
 func (s *Supervisor) Exec(ctx context.Context, class string, req driver.Request) (*Result, error) {
 	chain := chainFor(&req)
 	if chain == nil {
-		res, err := s.attempt(ctx, class, req, tierName(req.Loop))
+		sp, actx := obs.StartSpan(ctx, "tier:"+tierName(req.Loop), "guard")
+		sp.SetArg("mode", "passthrough")
+		res, err := s.attempt(actx, class, req, tierName(req.Loop))
 		if err != nil {
+			sp.SetArg("outcome", outcomeFor(err))
+			sp.End()
 			return nil, err
 		}
+		sp.SetArg("outcome", "ok")
+		sp.End()
 		return &Result{Result: res, Tier: res.Engine}, nil
 	}
 
@@ -305,6 +321,12 @@ func (s *Supervisor) Exec(ctx context.Context, class string, req driver.Request)
 			case admitSkip:
 				s.m.breakerReroute.Inc()
 				rerouted = true
+				// A zero-duration span marks the skip, so the request's
+				// span tree explains why its preferred tier never ran.
+				sp, _ := obs.StartSpan(ctx, "tier:"+name, "guard")
+				sp.SetArg("outcome", "skipped")
+				sp.SetArg("reason", "breaker-open")
+				sp.End()
 				continue
 			case admitProbe:
 				probe = true
@@ -313,8 +335,16 @@ func (s *Supervisor) Exec(ctx context.Context, class string, req driver.Request)
 		}
 
 		req.Loop = tier
-		res, err := s.attempt(ctx, class, req, name)
+		sp, actx := obs.StartSpan(ctx, "tier:"+name, "guard")
+		if probe {
+			sp.SetArg("probe", "half-open")
+		}
+		res, err := s.attempt(actx, class, req, name)
+		if err != nil {
+			sp.SetArg("outcome", outcomeFor(err))
+		}
 		if err == nil {
+			sp.SetArg("outcome", "ok")
 			if br != nil {
 				if br.success(probe) {
 					s.m.breakerClose.Inc()
@@ -328,9 +358,13 @@ func (s *Supervisor) Exec(ctx context.Context, class string, req driver.Request)
 				s.record(IncidentPanicFallback, class, name,
 					fmt.Sprintf("tier %s rescued the request after %v faulted", name, fellFrom))
 			}
-			s.maybeShadow(class, req, tier, res)
+			if s.maybeShadow(class, req, tier, res) {
+				sp.SetArg("shadow", "sampled")
+			}
+			sp.End()
 			return &Result{Result: res, Tier: res.Engine, FallbackFrom: fellFrom, Rerouted: rerouted}, nil
 		}
+		sp.End()
 		if !retryable(err) {
 			// A deterministic outcome (trap, compile error, caller's
 			// deadline): the tier functioned, so a probe may close the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"branchreg/internal/driver"
 	"branchreg/internal/emu"
@@ -107,20 +108,20 @@ func altTier(mode emu.LoopMode) (emu.LoopMode, bool) {
 // executed (not merely received: coalesced followers share one
 // execution) request of a class is sampled — so chaos smoke runs and
 // tests can predict exactly which executions are shadowed.
-func (s *Supervisor) maybeShadow(class string, req driver.Request, tier emu.LoopMode, res *driver.Result) {
+func (s *Supervisor) maybeShadow(class string, req driver.Request, tier emu.LoopMode, res *driver.Result) bool {
 	if s.shadow == nil {
-		return
+		return false
 	}
 	alt, ok := altTier(tier)
 	if !ok {
-		return
+		return false
 	}
 	s.mu.Lock()
 	s.shadowN[class]++
 	due := s.shadowN[class]%int64(s.cfg.ShadowRate) == 0
 	s.mu.Unlock()
 	if !due {
-		return
+		return false
 	}
 	s.m.shadowSampled.Inc()
 	shadowReq := req
@@ -130,15 +131,32 @@ func (s *Supervisor) maybeShadow(class string, req driver.Request, tier emu.Loop
 		class: class, req: shadowReq, tier: tierName(tier), alt: tierName(alt), res: res,
 	}) {
 		s.m.shadowDropped.Inc()
+		return false
 	}
+	return true
 }
 
 // runShadow re-executes one sampled request on the alternate tier and
-// compares. Called from a shadow worker.
+// compares. Called from a shadow worker. The re-execution's wall clock
+// lands in the serve.latency.shadow.<outcome>.<tier> histograms (the
+// serve.latency family is the request-phase latency namespace; shadow
+// verification is the one phase that runs off the request path), so
+// /metrics shows what background verification costs next to what
+// serving costs.
 func (s *Supervisor) runShadow(j shadowJob) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShadowTimeout)
 	defer cancel()
+	start := time.Now()
 	alt, err := s.attempt(ctx, j.class, j.req, j.alt)
+	outcome := "ok"
+	switch {
+	case err != nil:
+		outcome = "error"
+	case diffResults(j.res, alt) != "":
+		outcome = "mismatch"
+	}
+	s.cfg.Metrics.Histogram(fmt.Sprintf("serve.latency.shadow.%s.%s", outcome, j.alt)).
+		Observe(time.Since(start).Nanoseconds())
 	if err != nil {
 		// The primary succeeded, so any shadow error is suspicious — but
 		// an error is not a byte mismatch: it may be a panic in the

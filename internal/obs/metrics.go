@@ -76,11 +76,17 @@ type HistBucket struct {
 	Count int64 `json:"count"`
 }
 
-// HistogramSnapshot is a point-in-time copy of a Histogram.
+// HistogramSnapshot is a point-in-time copy of a Histogram. P50/P90/P99
+// are the estimated quantiles (see Quantile), precomputed at snapshot
+// time so JSON consumers — /metrics dashboards, the flight recorder —
+// get latency percentiles without re-deriving bucket math.
 type HistogramSnapshot struct {
 	Count   int64        `json:"count"`
 	Sum     int64        `json:"sum"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
+	P50     float64      `json:"p50,omitempty"`
+	P90     float64      `json:"p90,omitempty"`
+	P99     float64      `json:"p99,omitempty"`
 }
 
 // Mean returns Sum/Count, or 0 for an empty histogram.
@@ -91,6 +97,48 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Quantile estimates the q'th quantile (q in [0,1], clamped) from the
+// log2 buckets: it finds the bucket holding the q·Count'th observation
+// and interpolates linearly within that bucket's value range
+// [2^(Bit-1), 2^Bit). Bucket 0 (exact zeros) needs no interpolation.
+// An empty histogram estimates 0. The estimate is exact when every
+// observation in the target bucket sits at the interpolated point and
+// never off by more than the bucket width — the usual log-bucket
+// trade: cheap atomic observation, ~2× worst-case quantile error.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for _, b := range s.Buckets {
+		prev := cum
+		cum += b.Count
+		if float64(cum) >= rank {
+			if b.Bit == 0 {
+				return 0
+			}
+			lo := float64(int64(1) << (b.Bit - 1))
+			frac := (rank - float64(prev)) / float64(b.Count)
+			return lo + frac*lo
+		}
+	}
+	// rank == Count and float rounding skipped the last bucket: return
+	// the last bucket's upper bound.
+	if n := len(s.Buckets); n > 0 {
+		if bit := s.Buckets[n-1].Bit; bit > 0 {
+			return 2 * float64(int64(1)<<(bit-1))
+		}
+	}
+	return 0
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	out := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
 	for i := range h.buckets {
@@ -98,6 +146,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 			out.Buckets = append(out.Buckets, HistBucket{Bit: i, Count: n})
 		}
 	}
+	out.P50 = out.Quantile(0.50)
+	out.P90 = out.Quantile(0.90)
+	out.P99 = out.Quantile(0.99)
 	return out
 }
 

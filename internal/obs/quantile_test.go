@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// The quantile estimator's contract is pinned exactly: rank q·Count
+// lands in a bucket, and the estimate interpolates linearly across that
+// bucket's [2^(Bit-1), 2^Bit) range.
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	s := h.snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot precomputed quantiles = %g/%g, want 0/0", s.P50, s.P99)
+	}
+}
+
+func TestHistogramQuantileAllZeros(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(0)
+	}
+	s := h.snapshot()
+	if got := s.Quantile(0.99); got != 0 {
+		t.Errorf("all-zero Quantile(0.99) = %g, want 0", got)
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	// Eight observations, all in bucket bit 3 (range [4, 8)). The
+	// estimator's exact outputs: rank = 8q, frac = rank/8, value = 4 + 4·frac.
+	var h Histogram
+	for i := 0; i < 8; i++ {
+		h.Observe(5)
+	}
+	s := h.snapshot()
+	cases := []struct{ q, want float64 }{
+		{0, 4}, {0.25, 5}, {0.5, 6}, {0.75, 7}, {1, 8},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileTwoBuckets(t *testing.T) {
+	// 6 observations in bucket bit 2 ([2,4)) and 2 in bit 4 ([8,16)).
+	var h Histogram
+	for i := 0; i < 6; i++ {
+		h.Observe(3)
+	}
+	h.Observe(9)
+	h.Observe(9)
+	s := h.snapshot()
+	// p50: rank 4 ≤ cum 6 → bucket bit 2, frac 4/6 → 2 + 2·(4/6).
+	if got, want := s.Quantile(0.5), 2+2*(4.0/6.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %g, want %g", got, want)
+	}
+	// p99: rank 7.92 > 6 → bucket bit 4, frac (7.92-6)/2 → 8 + 8·0.96.
+	if got, want := s.Quantile(0.99), 8+8*((7.92-6)/2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Quantile(0.99) = %g, want %g", got, want)
+	}
+	// Precomputed snapshot fields agree with on-demand estimates.
+	if s.P50 != s.Quantile(0.5) || s.P90 != s.Quantile(0.9) || s.P99 != s.Quantile(0.99) {
+		t.Errorf("snapshot P50/P90/P99 diverge from Quantile()")
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	s := h.snapshot()
+	if got := s.Quantile(-3); got != 64 { // lower bound of bucket bit 7
+		t.Errorf("Quantile(-3) = %g, want 64", got)
+	}
+	if got := s.Quantile(7); got != 128 { // upper bound
+		t.Errorf("Quantile(7) = %g, want 128", got)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v < 100000; v = v*3 + 1 {
+		for i := int64(0); i < v%17+1; i++ {
+			h.Observe(v)
+		}
+	}
+	s := h.snapshot()
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%g) = %g < %g", q, got, prev)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Request-scoped tracing: a ReqTrace is one request's private span
+// recorder, created at brserve admission, carried down the stack via
+// context, and harvested into the flight recorder when the response is
+// written. It reuses the Tracer span model (parent IDs, args, Chrome
+// export) but scopes the span set and the timestamp origin to a single
+// request, so a harvested span tree is self-contained.
+//
+// Every method is nil-receiver safe, and StartSpan on a context with no
+// trace attached returns a nil *Span whose methods no-op — instrumented
+// code in driver and guard pays nothing when called outside a traced
+// request (brbench, exp.Runner, tests).
+
+// ReqTrace is one request's span recorder.
+type ReqTrace struct {
+	// ID is the request ID (the X-Request-Id value).
+	ID string
+	// Start anchors the trace's relative timestamps in wall-clock time.
+	Start time.Time
+	tr    *Tracer
+}
+
+// NewReqTrace returns a trace whose span timestamps are relative to now.
+func NewReqTrace(id string) *ReqTrace {
+	return &ReqTrace{ID: id, Start: time.Now(), tr: NewTracer()}
+}
+
+// Begin starts a span in this trace. parent is 0 for the root span.
+func (rt *ReqTrace) Begin(name, cat string, parent SpanID) *Span {
+	if rt == nil {
+		return nil
+	}
+	return rt.tr.Begin(name, cat, parent, 0)
+}
+
+// Spans returns the finished spans sorted by start time (the span tree,
+// linked by SpanRecord.Parent).
+func (rt *ReqTrace) Spans() []SpanRecord {
+	if rt == nil {
+		return nil
+	}
+	return rt.tr.Spans()
+}
+
+// reqTraceKey continues the ctxKey space declared in trace.go.
+const reqTraceKey ctxKey = iota + 16
+
+// ContextWithReqTrace returns ctx carrying the request trace.
+func ContextWithReqTrace(ctx context.Context, rt *ReqTrace) context.Context {
+	return context.WithValue(ctx, reqTraceKey, rt)
+}
+
+// ReqTraceFromContext returns the request trace carried by ctx, or nil.
+func ReqTraceFromContext(ctx context.Context) *ReqTrace {
+	rt, _ := ctx.Value(reqTraceKey).(*ReqTrace)
+	return rt
+}
+
+// StartSpan begins a child span of the request trace carried by ctx,
+// parented to the current span, and returns a context in which the new
+// span is current. With no trace attached it returns (nil, ctx) — the
+// nil span's SetArg/End no-op, so call sites need no conditionals.
+func StartSpan(ctx context.Context, name, cat string) (*Span, context.Context) {
+	rt := ReqTraceFromContext(ctx)
+	if rt == nil {
+		return nil, ctx
+	}
+	sp := rt.Begin(name, cat, SpanFromContext(ctx))
+	return sp, ContextWithSpan(ctx, sp.ID())
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestReqTraceSpanTree(t *testing.T) {
+	rt := NewReqTrace("req-1")
+	root := rt.Begin("request", "serve", 0)
+	ctx := ContextWithSpan(ContextWithReqTrace(context.Background(), rt), root.ID())
+
+	child, cctx := StartSpan(ctx, "exec", "serve")
+	grand, _ := StartSpan(cctx, "compile", "driver")
+	grand.SetArg("cached", "false")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := rt.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["exec"].Parent != byName["request"].ID {
+		t.Errorf("exec parent = %d, want root %d", byName["exec"].Parent, byName["request"].ID)
+	}
+	if byName["compile"].Parent != byName["exec"].ID {
+		t.Errorf("compile parent = %d, want exec %d", byName["compile"].Parent, byName["exec"].ID)
+	}
+	if byName["compile"].Args["cached"] != "false" {
+		t.Errorf("compile span lost its arg: %+v", byName["compile"].Args)
+	}
+}
+
+func TestStartSpanWithoutTrace(t *testing.T) {
+	sp, ctx := StartSpan(context.Background(), "compile", "driver")
+	if sp != nil {
+		t.Fatalf("StartSpan without a trace returned a live span")
+	}
+	// The nil span's methods must no-op, so instrumented call sites need
+	// no conditionals.
+	sp.SetArg("k", "v")
+	sp.End()
+	if SpanFromContext(ctx) != 0 {
+		t.Errorf("untraced context gained a span ID")
+	}
+}
+
+func TestNilReqTrace(t *testing.T) {
+	var rt *ReqTrace
+	sp := rt.Begin("x", "y", 0)
+	if sp != nil {
+		t.Fatalf("nil trace handed out a span")
+	}
+	sp.End()
+	if rt.Spans() != nil {
+		t.Errorf("nil trace has spans")
+	}
+}

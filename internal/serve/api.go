@@ -107,7 +107,10 @@ type Timing struct {
 // trap) with Trap set; a compile or validation failure returns 4xx with
 // Error set.
 type RunResponse struct {
-	Output  string           `json:"output,omitempty"`
+	// RequestID is the request's X-Request-Id (generated at admission or
+	// echoed from the caller) — the key into GET /v1/debug/requests/{id}.
+	RequestID string           `json:"request_id,omitempty"`
+	Output    string           `json:"output,omitempty"`
 	Status  int32            `json:"status"`
 	Machine string           `json:"machine,omitempty"`
 	Engine  string           `json:"engine,omitempty"`

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"branchreg/internal/guard"
+	"branchreg/internal/obs"
 )
 
 // IncidentsReply mirrors the GET /v1/incidents body (declared in
@@ -94,6 +95,51 @@ func ChaosCheck(ctx context.Context, baseURL, probeWorkload string, client *http
 	}
 	if n := byKind[guard.IncidentShadowMismatch]; n > 0 {
 		return fmt.Errorf("chaos-check: %d shadow mismatches recorded — engines diverged under chaos", n)
+	}
+
+	// Finally, the flight recorder must tell the same story at request
+	// granularity: at least one retained fallback-annotated request whose
+	// full record — fetched by its X-Request-Id — shows both the tier
+	// attempt the chaos plan panicked and the tier that rescued it.
+	// Coalesced followers are skipped: they inherit the annotation but
+	// their span trees record only the wait, not the execution.
+	var flights DebugRequestsReply
+	if err := getJSON(ctx, client, baseURL+"/v1/debug/requests", &flights); err != nil {
+		return fmt.Errorf("chaos-check: %w", err)
+	}
+	var fallbackID string
+	for _, rec := range flights.Requests {
+		if len(rec.FallbackFrom) > 0 && !rec.Coalesced {
+			fallbackID = rec.ID
+			break
+		}
+	}
+	if fallbackID == "" {
+		return fmt.Errorf("chaos-check: flight recorder retained no fallback-annotated request (%d retained of %d offered)",
+			flights.Retained, flights.Offered)
+	}
+	var rec obs.RequestRecord
+	if err := getJSON(ctx, client, baseURL+"/v1/debug/requests/"+fallbackID, &rec); err != nil {
+		return fmt.Errorf("chaos-check: %w", err)
+	}
+	if rec.Engine == "" {
+		return fmt.Errorf("chaos-check: flight record %s names no serving engine", rec.ID)
+	}
+	var sawPanic, sawServed bool
+	for _, sp := range rec.Spans {
+		if !strings.HasPrefix(sp.Name, "tier:") {
+			continue
+		}
+		switch sp.Args["outcome"] {
+		case "panic":
+			sawPanic = true
+		case "ok":
+			sawServed = true
+		}
+	}
+	if !sawPanic || !sawServed {
+		return fmt.Errorf("chaos-check: flight record %s has %d spans but panicked-tier=%v serving-tier=%v; want both",
+			rec.ID, len(rec.Spans), sawPanic, sawServed)
 	}
 	return nil
 }

@@ -49,6 +49,12 @@ type LoadSpec struct {
 	// (a draining or restarting server) before failing the request
 	// (default 5s).
 	DrainRetryWindow time.Duration
+	// TracePropagate sends a brload-generated X-Request-Id on every
+	// request and fails any response that does not echo it (header and
+	// body). Successful responses' server-reported phase timings are
+	// additionally aggregated into LoadResult.Phases, so a load run ends
+	// with a queue/compile/run decomposition of its latency.
+	TracePropagate bool
 }
 
 // LoadFailure records one failed request for diagnosis.
@@ -80,6 +86,16 @@ type LoadResult struct {
 	// Failures holds the first few failed requests (capped) so a failing
 	// run is diagnosable from the result alone.
 	Failures []LoadFailure `json:"failures,omitempty"`
+	// Phases holds p50/p99 of the server-reported per-phase timings of
+	// successful responses, keyed "queue", "compile", "run", "total".
+	// Filled only when TracePropagate is set.
+	Phases map[string]PhaseStats `json:"phases,omitempty"`
+}
+
+// PhaseStats summarizes one request phase's server-reported wall clock.
+type PhaseStats struct {
+	P50NS int64 `json:"p50_ns"`
+	P99NS int64 `json:"p99_ns"`
 }
 
 // loadCell is one (workload, machine) matrix cell.
@@ -139,7 +155,12 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 		latencies []int64
 		failures  []LoadFailure
 		engines   = map[string]int{}
+		phases    = map[string][]int64{}
 	)
+	// The run ID namespaces this run's propagated request IDs, so two
+	// concurrent brload runs against one server stay distinguishable in
+	// its flight recorder.
+	runID := strconv.FormatUint(rand.Uint64(), 16)
 	const maxFailures = 16
 	fail := func(c loadCell, code int, err error) {
 		mu.Lock()
@@ -162,7 +183,11 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 					return
 				}
 				c := cells[int(i)%len(cells)]
-				lat, resp, code, err := issueOne(ctx, client, &spec, c, &retries, &retries503)
+				var reqID string
+				if spec.TracePropagate {
+					reqID = fmt.Sprintf("brload-%s-%d", runID, i)
+				}
+				lat, resp, code, err := issueOne(ctx, client, &spec, c, reqID, &retries, &retries503)
 				if err != nil {
 					errCount.Add(1)
 					if code >= 500 {
@@ -188,6 +213,12 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 				if resp.Engine != "" {
 					engines[resp.Engine]++
 				}
+				if spec.TracePropagate && resp.Timing != nil {
+					phases["queue"] = append(phases["queue"], resp.Timing.QueueNS)
+					phases["compile"] = append(phases["compile"], resp.Timing.CompileNS)
+					phases["run"] = append(phases["run"], resp.Timing.RunNS)
+					phases["total"] = append(phases["total"], resp.Timing.TotalNS)
+				}
 				mu.Unlock()
 				done.Add(1)
 			}
@@ -210,6 +241,13 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 		res.ReqPerSec = float64(res.Requests) / (float64(res.WallNS) / 1e9)
 	}
 	res.P50NS, res.P99NS = percentiles(latencies)
+	if len(phases) > 0 {
+		res.Phases = map[string]PhaseStats{}
+		for name, ns := range phases {
+			p50, p99 := percentiles(ns)
+			res.Phases[name] = PhaseStats{P50NS: p50, P99NS: p99}
+		}
+	}
 	return res, ctx.Err()
 }
 
@@ -234,8 +272,10 @@ func backoffFor(attempt int, retryAfter string, cap time.Duration) time.Duration
 // issueOne posts one workload run, retrying 429s (jittered backoff,
 // honoring Retry-After) and — within spec.DrainRetryWindow — 503s from
 // a draining server. The returned latency covers the final successful
-// attempt only.
-func issueOne(ctx context.Context, client *http.Client, spec *LoadSpec, c loadCell, retries, retries503 *atomic.Int64) (int64, *RunResponse, int, error) {
+// attempt only. A non-empty reqID is sent as X-Request-Id (retried
+// attempts reuse it — the server's flight recorder keeps the newest),
+// and a success that fails to echo it is an error.
+func issueOne(ctx context.Context, client *http.Client, spec *LoadSpec, c loadCell, reqID string, retries, retries503 *atomic.Int64) (int64, *RunResponse, int, error) {
 	body, err := json.Marshal(&RunRequest{Workload: c.workload, Machine: c.machine, Tenant: spec.Tenant})
 	if err != nil {
 		return 0, nil, 0, err
@@ -251,6 +291,9 @@ func issueOne(ctx context.Context, client *http.Client, spec *LoadSpec, c loadCe
 			return 0, nil, 0, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if reqID != "" {
+			req.Header.Set("X-Request-Id", reqID)
+		}
 		t0 := time.Now()
 		hr, err := client.Do(req)
 		if err != nil {
@@ -292,6 +335,14 @@ func issueOne(ctx context.Context, client *http.Client, spec *LoadSpec, c loadCe
 		}
 		if resp.Trap != nil {
 			return 0, nil, hr.StatusCode, fmt.Errorf("unexpected trap: %v", resp.Trap)
+		}
+		if reqID != "" {
+			if got := hr.Header.Get("X-Request-Id"); got != reqID {
+				return 0, nil, hr.StatusCode, fmt.Errorf("X-Request-Id header %q does not echo sent %q", got, reqID)
+			}
+			if resp.RequestID != reqID {
+				return 0, nil, hr.StatusCode, fmt.Errorf("response request_id %q does not echo sent %q", resp.RequestID, reqID)
+			}
 		}
 		return lat, &resp, hr.StatusCode, nil
 	}

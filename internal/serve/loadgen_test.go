@@ -75,7 +75,7 @@ func TestIssueOneRetries429(t *testing.T) {
 	var retries, retries503 atomic.Int64
 	start := time.Now()
 	_, resp, code, err := issueOne(context.Background(), http.DefaultClient, &spec,
-		loadCell{workload: "sieve", machine: "branchreg"}, &retries, &retries503)
+		loadCell{workload: "sieve", machine: "branchreg"}, "", &retries, &retries503)
 	if err != nil || code != 200 {
 		t.Fatalf("issueOne: code=%d err=%v", code, err)
 	}
@@ -102,7 +102,7 @@ func TestIssueOneRetries503WithinWindow(t *testing.T) {
 	spec := LoadSpec{BaseURL: ts.URL, MaxBackoff: 5 * time.Millisecond, DrainRetryWindow: 5 * time.Second}
 	var retries, retries503 atomic.Int64
 	_, resp, code, err := issueOne(context.Background(), http.DefaultClient, &spec,
-		loadCell{workload: "sieve", machine: "branchreg"}, &retries, &retries503)
+		loadCell{workload: "sieve", machine: "branchreg"}, "", &retries, &retries503)
 	if err != nil || code != 200 {
 		t.Fatalf("issueOne: code=%d err=%v", code, err)
 	}
@@ -130,7 +130,7 @@ func TestIssueOne503WindowExpires(t *testing.T) {
 	spec := LoadSpec{BaseURL: ts.URL, MaxBackoff: 2 * time.Millisecond, DrainRetryWindow: 30 * time.Millisecond}
 	var retries, retries503 atomic.Int64
 	_, _, code, err := issueOne(context.Background(), http.DefaultClient, &spec,
-		loadCell{workload: "sieve", machine: "branchreg"}, &retries, &retries503)
+		loadCell{workload: "sieve", machine: "branchreg"}, "", &retries, &retries503)
 	if err == nil || code != 503 {
 		t.Fatalf("issueOne: code=%d err=%v, want a 503 failure after the window", code, err)
 	}

@@ -2,12 +2,18 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -70,6 +76,25 @@ type Config struct {
 	// engine panics, latency, and worker stalls for supervision testing.
 	// Never set it on a production server.
 	Chaos *ChaosPlan
+
+	// FlightCap bounds the flight-recorder ring served at
+	// GET /v1/debug/requests (default 256).
+	FlightCap int
+	// FlightSlow retains any request slower than this in the flight
+	// recorder (default 250ms; negative disables the slow criterion).
+	FlightSlow time.Duration
+	// FlightSample retains every Nth request in the flight recorder
+	// regardless of interest (default 64; negative disables sampling).
+	FlightSample int
+	// Logger receives structured request logs (default: discard).
+	// Errors and fallback/reroute-annotated requests always log;
+	// LogSample additionally logs every Nth ordinary request (0 = none).
+	Logger    *slog.Logger
+	LogSample int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — runtime
+	// profiling for a live server, gated because the endpoints expose
+	// process internals.
+	EnablePprof bool
 }
 
 // serveMetrics holds the resolved metric handles so the request path
@@ -88,6 +113,10 @@ type serveMetrics struct {
 	inflight  *obs.Gauge
 	queueWait *obs.Histogram
 	totalNS   *obs.Histogram
+	// queueTotal aggregates the per-shard serve.queue.depth.%d gauges:
+	// one number for "how much is queued right now" without a consumer
+	// having to know the shard count.
+	queueTotal *obs.Gauge
 }
 
 func newServeMetrics(r *obs.Registry) serveMetrics {
@@ -102,9 +131,10 @@ func newServeMetrics(r *obs.Registry) serveMetrics {
 		budget:    r.Counter("serve.traps.step_budget"),
 		timeouts:  r.Counter("serve.timeouts"),
 		internal:  r.Counter("serve.errors.internal"),
-		inflight:  r.Gauge("serve.inflight"),
-		queueWait: r.Histogram("serve.queue_wait_ns"),
-		totalNS:   r.Histogram("serve.total_ns"),
+		inflight:   r.Gauge("serve.inflight"),
+		queueWait:  r.Histogram("serve.queue_wait_ns"),
+		totalNS:    r.Histogram("serve.total_ns"),
+		queueTotal: r.Gauge("serve.queue.depth.total"),
 	}
 }
 
@@ -121,6 +151,15 @@ type job struct {
 	out     *guard.Result
 	err     error
 	done    chan struct{}
+
+	// The admitting request's trace rides with the job: the worker
+	// attaches it to the execution context so driver/guard spans land in
+	// it. Coalesced followers keep their own traces; only the leader's
+	// trace sees the execution.
+	reqID     string
+	trace     *obs.ReqTrace
+	rootID    obs.SpanID
+	queueSpan *obs.Span
 }
 
 // shard is one admission lane: a bounded queue plus the in-flight table
@@ -156,6 +195,18 @@ type Server struct {
 	ewmaNS          atomic.Int64
 	workersPerShard int
 
+	flight *obs.FlightRecorder
+	logger *slog.Logger
+	// idPrefix makes generated request IDs unique across server restarts;
+	// reqN numbers requests within this process.
+	idPrefix string
+	reqN     atomic.Int64
+	// logN counts responses for -log-sample's every-Nth selection.
+	logN atomic.Int64
+	// queueLen tracks total queued jobs across shards for the
+	// serve.queue.depth.total gauge.
+	queueLen atomic.Int64
+
 	// gate, when non-nil, is received from before each job executes —
 	// a test hook that makes queue-full behavior deterministic.
 	gate chan struct{}
@@ -187,11 +238,28 @@ func New(cfg Config) *Server {
 	if cfg.ShadowRate == 0 {
 		cfg.ShadowRate = 32
 	}
+	if cfg.FlightCap <= 0 {
+		cfg.FlightCap = 256
+	}
+	if cfg.FlightSlow == 0 {
+		cfg.FlightSlow = 250 * time.Millisecond
+	}
+	if cfg.FlightSample == 0 {
+		cfg.FlightSample = 64
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	var seed [4]byte
+	_, _ = rand.Read(seed[:])
 	s := &Server{
-		cfg:   cfg,
-		cache: cfg.Cache,
-		m:     newServeMetrics(cfg.Metrics),
-		start: time.Now(),
+		cfg:      cfg,
+		cache:    cfg.Cache,
+		m:        newServeMetrics(cfg.Metrics),
+		start:    time.Now(),
+		flight:   obs.NewFlightRecorder(cfg.FlightCap, cfg.FlightSlow.Nanoseconds(), cfg.FlightSample),
+		logger:   cfg.Logger,
+		idPrefix: hex.EncodeToString(seed[:]),
 	}
 	// The execution stack, bottom-up: the compile cache's Exec, the chaos
 	// injector (tests and smoke runs only), and the guard supervisor the
@@ -234,8 +302,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/incidents", s.handleIncidents)
+	s.mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /v1/debug/requests/{id}", s.handleDebugRequest)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -318,6 +396,7 @@ func (s *Server) worker(sh *shard) {
 	defer s.workers.Done()
 	for j := range sh.queue {
 		sh.depth.Set(int64(len(sh.queue)))
+		s.m.queueTotal.Set(s.queueLen.Add(-1))
 		if s.gate != nil {
 			<-s.gate
 		}
@@ -325,6 +404,7 @@ func (s *Server) worker(sh *shard) {
 			s.chaos.maybeStall()
 		}
 		j.queueNS = time.Since(j.enq).Nanoseconds()
+		j.queueSpan.End()
 		s.m.queueWait.Observe(j.queueNS)
 		s.m.inflight.Set(s.running.Add(1))
 		runStart := time.Now()
@@ -359,14 +439,82 @@ func (s *Server) execJob(j *job) (out *guard.Result, err error) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancel()
 	}
+	// Attach the admitting request's trace so driver and guard spans land
+	// in it; the exec span's deferred End survives the panic path above.
+	ctx = obs.ContextWithReqTrace(ctx, j.trace)
+	ctx = obs.ContextWithSpan(ctx, j.rootID)
+	sp, ctx := obs.StartSpan(ctx, "exec", "serve")
+	defer sp.End()
 	return s.sup.Exec(ctx, j.class, j.req)
 }
 
+// reqCtx carries one request's observability state from admission to
+// the response writer: its ID, its trace and root span, and the
+// classification the flight recorder and the request log report.
+type reqCtx struct {
+	id        string
+	rt        *obs.ReqTrace
+	root      *obs.Span
+	start     time.Time
+	class     string
+	tenant    string
+	coalesced bool
+}
+
+// validRequestID bounds what the server accepts as an inbound
+// X-Request-Id: non-empty, at most 120 bytes, [A-Za-z0-9._:-] only.
+// Anything else is replaced with a generated ID, so a hostile header
+// can't smuggle log/exposition payloads.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 120 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == ':', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// requestID echoes a well-formed inbound X-Request-Id (so a caller —
+// or brload -trace-propagate — can correlate its own IDs with flight
+// records) or generates one: a per-process random prefix plus a
+// sequence number.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); validRequestID(id) {
+		return id
+	}
+	return fmt.Sprintf("%s-%d", s.idPrefix, s.reqN.Add(1))
+}
+
+// statusClass buckets an HTTP status for the serve.latency metric
+// names: 2xx, 4xx, or 5xx.
+func statusClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
 // handleRun is POST /v1/run: decode, admit (coalesce / enqueue / 429),
-// wait, respond.
+// wait, respond. Every response path runs through emit, so every
+// request — including rejections — carries X-Request-Id, lands in the
+// latency histograms, and is offered to the flight recorder.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
-	start := time.Now()
+	rc := &reqCtx{id: s.requestID(r), start: time.Now()}
+	rc.rt = obs.NewReqTrace(rc.id)
+	rc.root = rc.rt.Begin("request", "serve", 0)
+	w.Header().Set("X-Request-Id", rc.id)
 	limit := int64(1 << 20)
 	if s.cfg.MaxSourceBytes > 0 {
 		limit = int64(s.cfg.MaxSourceBytes) + 64*1024 // headroom for JSON framing
@@ -374,21 +522,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var rr RunRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(&rr); err != nil {
 		s.m.badReq.Inc()
-		writeJSON(w, 400, &RunResponse{Error: "bad request body: " + err.Error()})
+		s.emit(w, rc, 400, &RunResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
+	rc.tenant = rr.Tenant
 	req, class, err := s.buildRequest(&rr)
 	if err != nil {
 		s.m.badReq.Inc()
 		he := &httpError{code: 400, msg: err.Error()}
 		errors.As(err, &he)
-		writeJSON(w, he.code, &RunResponse{Error: he.msg, Machine: rr.Machine})
+		s.emit(w, rc, he.code, &RunResponse{Error: he.msg, Machine: rr.Machine})
 		return
 	}
+	rc.class = class
 
 	if s.draining.Load() {
 		s.m.draining.Inc()
-		writeJSON(w, 503, &RunResponse{Error: "server is draining"})
+		s.emit(w, rc, 503, &RunResponse{Error: "server is draining"})
 		return
 	}
 	fp := req.Fingerprint()
@@ -398,36 +548,54 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if sh.closed {
 		sh.mu.Unlock()
 		s.m.draining.Inc()
-		writeJSON(w, 503, &RunResponse{Error: "server is draining"})
+		s.emit(w, rc, 503, &RunResponse{Error: "server is draining"})
 		return
 	}
 	j, coalesced := sh.inflight[fp]
 	if coalesced {
 		s.m.coalesced.Inc()
+		rc.coalesced = true
 	} else {
-		j = &job{req: req, fp: fp, class: class, enq: time.Now(), done: make(chan struct{})}
+		j = &job{req: req, fp: fp, class: class, enq: time.Now(), done: make(chan struct{}),
+			reqID: rc.id, trace: rc.rt, rootID: rc.root.ID()}
+		// The queue span must be attached before the channel send
+		// publishes the job to a worker (which ends it at dequeue).
+		j.queueSpan = rc.rt.Begin("queue", "serve", rc.root.ID())
 		select {
 		case sh.queue <- j:
 			sh.inflight[fp] = j
 			sh.depth.Set(int64(len(sh.queue)))
+			s.m.queueTotal.Set(s.queueLen.Add(1))
 		default:
 			sh.mu.Unlock()
+			j.queueSpan.End()
 			s.m.queueFull.Inc()
 			w.Header().Set("Retry-After", s.retryAfterHint(len(sh.queue)))
-			writeJSON(w, 429, &RunResponse{Error: "queue full, retry later"})
+			s.emit(w, rc, 429, &RunResponse{Error: "queue full, retry later"})
 			return
 		}
 	}
 	sh.mu.Unlock()
 
+	// A coalesced follower never executes: its trace records only the
+	// wait for the leader's execution to publish.
+	var waitSpan *obs.Span
+	if coalesced {
+		waitSpan = rc.rt.Begin("coalesced-wait", "serve", rc.root.ID())
+	}
 	select {
 	case <-j.done:
+		waitSpan.End()
 	case <-r.Context().Done():
 		// The client went away; the job keeps running for any coalesced
-		// followers and for the cache's benefit.
+		// followers and for the cache's benefit. Nothing to emit — there
+		// is no one left to respond to.
+		waitSpan.End()
+		rc.root.SetArg("status", "client-disconnected")
+		rc.root.End()
 		return
 	}
-	s.respond(w, &req, j, coalesced, start)
+	s.respond(w, &req, j, rc)
 }
 
 // respond classifies one finished job onto the wire. Status mapping:
@@ -436,13 +604,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // trap is 422 (the tenant exceeded its allowance), compile and
 // validation failures are 400, a timed-out job is 408, and a worker
 // panic is the only 500.
-func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, coalesced bool, start time.Time) {
+func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, rc *reqCtx) {
 	resp := &RunResponse{
 		Machine:   req.Kind.String(),
-		Coalesced: coalesced,
-		Timing:    &Timing{QueueNS: j.queueNS, TotalNS: time.Since(start).Nanoseconds()},
+		Coalesced: rc.coalesced,
+		Timing:    &Timing{QueueNS: j.queueNS, TotalNS: time.Since(rc.start).Nanoseconds()},
 	}
-	totalObserved := func() { s.m.totalNS.Observe(resp.Timing.TotalNS) }
 	if j.err == nil {
 		res := j.out.Result
 		resp.Output = res.Output
@@ -464,8 +631,7 @@ func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, coa
 		resp.Timing.CompileNS = res.Timing.CompileNS
 		resp.Timing.RunNS = res.Timing.RunNS
 		s.m.ok.Inc()
-		totalObserved()
-		writeJSON(w, 200, resp)
+		s.emit(w, rc, 200, resp)
 		return
 	}
 	var trap *emu.Trap
@@ -475,34 +641,120 @@ func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, coa
 		resp.Trap = trap
 		if trap.Kind == emu.TrapStepBudget {
 			s.m.budget.Inc()
-			totalObserved()
-			writeJSON(w, 422, resp)
+			s.emit(w, rc, 422, resp)
 			return
 		}
 		s.m.traps.Inc()
-		totalObserved()
-		writeJSON(w, 200, resp)
+		s.emit(w, rc, 200, resp)
 	case errors.Is(j.err, errInternal), errors.As(j.err, &pe), errors.Is(j.err, driver.ErrCompilePanic):
 		// A worker panic, an engine panic that exhausted every fallback
 		// tier, or a compiler panic cached as an error: the service's
 		// bug, never the client's — the only 500s.
 		s.m.internal.Inc()
 		resp.Error = j.err.Error()
-		totalObserved()
-		writeJSON(w, 500, resp)
+		s.emit(w, rc, 500, resp)
 	case errors.Is(j.err, context.DeadlineExceeded):
 		s.m.timeouts.Inc()
 		resp.Error = fmt.Sprintf("job exceeded the %s execution timeout", s.cfg.JobTimeout)
-		totalObserved()
-		writeJSON(w, 408, resp)
+		s.emit(w, rc, 408, resp)
 	default:
 		// Everything else the driver can return is a compile or
 		// validation failure — the client's program, not the service.
 		s.m.badReq.Inc()
 		resp.Error = j.err.Error()
-		totalObserved()
-		writeJSON(w, 400, resp)
+		s.emit(w, rc, 400, resp)
 	}
+}
+
+// emit finalizes one response: stamp the request ID into the body, end
+// the root span, record the per-phase serve.latency histograms, offer
+// the finished request to the flight recorder, write the structured log
+// line, and only then write the body. Keeping all of that on one path
+// is what makes "every response is observable" a structural property
+// instead of a per-branch obligation.
+func (s *Server) emit(w http.ResponseWriter, rc *reqCtx, code int, resp *RunResponse) {
+	resp.RequestID = rc.id
+	totalNS := time.Since(rc.start).Nanoseconds()
+	class := statusClass(code)
+	engine := resp.Engine
+	if engine == "" {
+		engine = "none"
+	}
+	reg := s.cfg.Metrics
+	phases := map[string]int64{"total_ns": totalNS}
+	reg.Histogram(fmt.Sprintf("serve.latency.total.%s.%s", class, engine)).Observe(totalNS)
+	if t := resp.Timing; t != nil {
+		s.m.totalNS.Observe(t.TotalNS)
+		phases["queue_ns"] = t.QueueNS
+		phases["compile_ns"] = t.CompileNS
+		phases["run_ns"] = t.RunNS
+		reg.Histogram(fmt.Sprintf("serve.latency.queue.%s.%s", class, engine)).Observe(t.QueueNS)
+		reg.Histogram(fmt.Sprintf("serve.latency.compile.%s.%s", class, engine)).Observe(t.CompileNS)
+		reg.Histogram(fmt.Sprintf("serve.latency.run.%s.%s", class, engine)).Observe(t.RunNS)
+	}
+	rc.root.SetArg("status", strconv.Itoa(code))
+	if resp.Engine != "" {
+		rc.root.SetArg("engine", resp.Engine)
+	}
+	rc.root.End()
+	var trap string
+	if resp.Trap != nil {
+		trap = resp.Trap.Kind.String()
+	}
+	s.flight.Offer(obs.RequestRecord{
+		ID: rc.id, Time: rc.start, Class: rc.class, Tenant: rc.tenant,
+		Status: code, Engine: resp.Engine,
+		FallbackFrom: resp.FallbackFrom, Rerouted: resp.Rerouted,
+		Coalesced: rc.coalesced, Trap: trap, Error: resp.Error,
+		Phases: phases, Spans: rc.rt.Spans(),
+	})
+	s.logRequest(rc, code, resp, totalNS)
+	writeJSON(w, code, resp)
+}
+
+// logRequest writes one slog line per logged response. Server errors,
+// timeouts, and fallback/reroute-annotated responses always log;
+// LogSample > 0 additionally logs every Nth ordinary response.
+func (s *Server) logRequest(rc *reqCtx, code int, resp *RunResponse, totalNS int64) {
+	n := s.logN.Add(1)
+	interesting := code >= 500 || code == 408 || len(resp.FallbackFrom) > 0 || resp.Rerouted
+	if !interesting && (s.cfg.LogSample <= 0 || n%int64(s.cfg.LogSample) != 0) {
+		return
+	}
+	lvl := slog.LevelInfo
+	switch {
+	case code >= 500:
+		lvl = slog.LevelError
+	case interesting:
+		lvl = slog.LevelWarn
+	}
+	attrs := []any{
+		slog.String("id", rc.id),
+		slog.Int("status", code),
+		slog.Int64("total_us", totalNS/1000),
+	}
+	if rc.class != "" {
+		attrs = append(attrs, slog.String("class", rc.class))
+	}
+	if rc.tenant != "" {
+		attrs = append(attrs, slog.String("tenant", rc.tenant))
+	}
+	if resp.Engine != "" {
+		attrs = append(attrs, slog.String("engine", resp.Engine))
+	}
+	if len(resp.FallbackFrom) > 0 {
+		attrs = append(attrs, slog.Any("fallback_from", resp.FallbackFrom))
+	}
+	if resp.Rerouted {
+		attrs = append(attrs, slog.Bool("rerouted", true))
+	}
+	if rc.coalesced {
+		attrs = append(attrs, slog.Bool("coalesced", true))
+	}
+	if resp.Error != "" {
+		attrs = append(attrs, slog.String("error", resp.Error))
+	}
+	s.logger.Log(context.Background(), lvl, "request", attrs...)
 }
 
 // handleWorkloads lists the built-in suite.
@@ -530,6 +782,76 @@ func (s *Server) handleIncidents(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, 200, &IncidentsReply{Total: total, Incidents: incidents})
 }
 
+// DebugRequestsReply is the GET /v1/debug/requests body: flight-recorder
+// summaries newest-first (span trees stripped — fetch one record by ID
+// for its full tree) plus the all-time offered/retained totals, so a
+// consumer can tell how selective retention is and whether the bounded
+// ring has evicted older records.
+type DebugRequestsReply struct {
+	Offered  int64               `json:"offered"`
+	Retained int64               `json:"retained"`
+	Requests []obs.RequestRecord `json:"requests"`
+}
+
+// handleDebugRequests serves the flight recorder's retained summaries.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	records, retained, offered := s.flight.Snapshot()
+	for i := range records {
+		records[i].Spans = nil
+	}
+	writeJSON(w, 200, &DebugRequestsReply{Offered: offered, Retained: retained, Requests: records})
+}
+
+// handleDebugRequest serves one retained request's full record — the
+// summary plus its span tree — by request ID.
+func (s *Server) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.flight.Get(id)
+	if !ok {
+		writeJSON(w, 404, map[string]string{"error": fmt.Sprintf(
+			"no retained request %q: the flight recorder keeps errors, fallbacks, slow requests, and a deterministic sample", id)})
+		return
+	}
+	writeJSON(w, 200, rec)
+}
+
+// serverVersion resolves the running build's version: the main module
+// version when stamped, else the VCS revision, else "devel".
+func serverVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" && kv.Value != "" {
+			if len(kv.Value) > 12 {
+				return kv.Value[:12]
+			}
+			return kv.Value
+		}
+	}
+	return "devel"
+}
+
+// VersionReply is the GET /version body.
+type VersionReply struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Started   string `json:"started"`
+}
+
+// handleVersion identifies the running build.
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, 200, &VersionReply{
+		Version:   serverVersion(),
+		GoVersion: runtime.Version(),
+		Started:   s.start.UTC().Format(time.RFC3339),
+	})
+}
+
 // handleHealth is the liveness/readiness probe: 200 while serving, 503
 // once draining.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -542,16 +864,44 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 // MetricsReply is the GET /metrics body: the obs registry snapshot plus
-// the compile cache's counters and the server's uptime.
+// the compile cache's counters, the server's start time and uptime, and
+// the build version. UptimeSeconds predates UptimeMS and stays for
+// existing consumers (chaoscheck, benchrecord).
 type MetricsReply struct {
+	Started       string            `json:"started"`
 	UptimeSeconds float64           `json:"uptime_s"`
+	UptimeMS      int64             `json:"uptime_ms"`
+	Version       string            `json:"version"`
 	Cache         driver.CacheStats `json:"cache"`
 	Metrics       obs.Snapshot      `json:"metrics"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the registry snapshot: JSON by default, the
+// Prometheus text exposition format with ?format=prom.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		snap := s.cfg.Metrics.Snapshot()
+		// Scrape-time synthetics: values that live on the Server rather
+		// than in the registry.
+		if snap.Gauges == nil {
+			snap.Gauges = map[string]int64{}
+		}
+		snap.Gauges["serve.uptime.ms"] = time.Since(s.start).Milliseconds()
+		cs := s.cache.Stats()
+		if snap.Counters == nil {
+			snap.Counters = map[string]int64{}
+		}
+		snap.Counters["serve.cache.hits"] = cs.Hits
+		snap.Counters["serve.cache.misses"] = cs.Misses
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WriteProm(w)
+		return
+	}
 	writeJSON(w, 200, &MetricsReply{
+		Started:       s.start.UTC().Format(time.RFC3339),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		UptimeMS:      time.Since(s.start).Milliseconds(),
+		Version:       serverVersion(),
 		Cache:         s.cache.Stats(),
 		Metrics:       s.cfg.Metrics.Snapshot(),
 	})
