@@ -23,7 +23,7 @@ FUZZTIME ?= 10s
 # cache breakage) cost well over 10%.
 BENCH_REGRESS ?= 8.0
 
-.PHONY: all build test vet race fuzz-smoke generate generate-check check bench bench-all bench-gate bench-serve serve-smoke chaos-smoke
+.PHONY: all build test vet race fuzz-smoke generate generate-check check bench bench-all bench-gate bench-serve serve-smoke chaos-smoke alloc-gate
 
 all: build
 
@@ -57,7 +57,14 @@ generate:
 generate-check:
 	$(GO) run ./internal/emu/gen -dir internal/emu -check
 
-check: vet generate-check race fuzz-smoke serve-smoke chaos-smoke bench-gate
+check: vet generate-check race alloc-gate fuzz-smoke serve-smoke chaos-smoke bench-gate
+
+# Allocation budgets for the serve hot path (testing.AllocsPerRun).
+# These run WITHOUT the race detector: -race instruments allocations and
+# would fail honest budgets, so the alloc tests skip themselves under
+# race and get this dedicated non-race invocation in the PR gate.
+alloc-gate:
+	$(GO) test ./internal/serve -run='TestServe.*Allocs'
 
 # Boot brserve on a loopback port, drive a brief differential-verified
 # load with brload, and fail on any error, 5xx, or output divergence.
@@ -111,9 +118,12 @@ bench-gate:
 	$(GO) run ./cmd/benchrecord -gate -max-regress $(BENCH_REGRESS)
 
 # Measure the brserve service (in-process, shared load generator) and
-# append p50/p99 latency + saturation req/s to BENCH_serve.json.
+# append p50/p99 latency + cold/warm saturation req/s + the warm-run
+# cache hit rate to BENCH_serve.json, then print the cache-hit
+# micro-benchmark with allocation counts.
 bench-serve:
 	$(GO) run ./cmd/benchrecord -serve
+	$(GO) test ./internal/serve -run='^$$' -bench=BenchmarkServeCacheHit -benchmem
 
 # Regenerate the paper's full evaluation as benchmarks with custom metrics.
 bench-all:

@@ -32,11 +32,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"branchreg/internal/driver"
 	"branchreg/internal/serve"
 )
 
@@ -86,6 +88,7 @@ func main() {
 		fmt.Printf("requests   %d (%d clients)\n", res.Requests, spec.Clients)
 		fmt.Printf("errors     %d (5xx: %d)\n", res.Errors, res.Server5xx)
 		fmt.Printf("retries    429: %d, 503: %d, coalesced %d\n", res.Retries429, res.Retries503, res.Coalesced)
+		printCacheLine(ctx, *url, res.Cached)
 		fmt.Printf("latency    p50 %s, p99 %s\n",
 			time.Duration(res.P50NS), time.Duration(res.P99NS))
 		fmt.Printf("throughput %.1f req/s over %s\n",
@@ -118,4 +121,46 @@ func main() {
 		}
 	}
 	os.Exit(rc)
+}
+
+// printCacheLine reports the result-cache view of the run: how many of
+// this client's responses were served from the server's deterministic
+// result cache, and the server's own hit ratio from GET /metrics. A
+// server running without a result cache (or an unreachable /metrics)
+// just prints the client-side count.
+func printCacheLine(ctx context.Context, base string, cached int) {
+	line := fmt.Sprintf("rescache   %d responses served from cache", cached)
+	if rs := fetchResultCacheStats(ctx, base); rs != nil {
+		lookups := rs.Hits + rs.Misses
+		ratio := 0.0
+		if lookups > 0 {
+			ratio = 100 * float64(rs.Hits) / float64(lookups)
+		}
+		line += fmt.Sprintf("; server hit ratio %.1f%% (%d/%d lookups, %d entries, %d KiB)",
+			ratio, rs.Hits, lookups, rs.Entries, rs.Bytes/1024)
+	}
+	fmt.Println(line)
+}
+
+// fetchResultCacheStats decodes the result_cache section of the
+// server's /metrics JSON, nil on any failure or when the server runs
+// with the cache disabled.
+func fetchResultCacheStats(ctx context.Context, base string) *driver.ResultCacheStats {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var reply serve.MetricsReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil
+	}
+	return reply.ResultCache
 }

@@ -53,12 +53,26 @@ type Cache struct {
 	entries map[cacheKey]*cacheEntry
 	hits    int64
 	misses  int64
+	// results, when attached with SetResultCache, memoizes whole
+	// execution Results on top of the compile memoization — see
+	// rescache.go for the determinism argument and the eligibility
+	// rules. nil (the default) preserves the historical contract:
+	// compilation is cached, execution never is.
+	results *ResultCache
 }
 
 // NewCache returns an empty compile cache.
 func NewCache() *Cache {
 	return &Cache{entries: map[cacheKey]*cacheEntry{}}
 }
+
+// SetResultCache attaches (or, with nil, detaches) a deterministic
+// result cache consulted by Exec. Attach before the cache is shared
+// across goroutines; the field is not synchronized.
+func (c *Cache) SetResultCache(rc *ResultCache) { c.results = rc }
+
+// ResultCache returns the attached result cache, or nil.
+func (c *Cache) ResultCache() *ResultCache { return c.results }
 
 // Compile returns the cached program for (src, kind, o), compiling it on
 // first request. The context governs only this caller's wait: a

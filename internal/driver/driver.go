@@ -145,6 +145,13 @@ type Result struct {
 	// and emulation, plus queue wait when the request passed through
 	// brserve's admission queue.
 	Timing Timing
+	// Cached marks a Result served from a ResultCache instead of a fresh
+	// execution. A cached Result is byte-identical to the execution that
+	// produced it (the cache is keyed on Request.Fingerprint, which
+	// covers every result-affecting field); consumers that must observe
+	// real executions only — shadow verification, benchmark harnesses —
+	// key off this.
+	Cached bool
 }
 
 // Run compiles and executes src on the given machine with the given stdin.

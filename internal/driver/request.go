@@ -61,6 +61,12 @@ type Request struct {
 	// negative disables promotion. Ignored unless Loop is
 	// emu.LoopAdaptive.
 	PromoteThreshold int64
+	// NoCache suppresses the deterministic result cache for this request
+	// (see ResultCache): the lookup is skipped and the Result is executed
+	// fresh. It cannot affect the Result of a cacheable request — the
+	// cache only ever returns what execution would have produced — so
+	// Fingerprint deliberately excludes it, exactly like OutputHint.
+	NoCache bool
 }
 
 // Validate rejects requests the driver cannot honor.
@@ -131,12 +137,26 @@ func Exec(ctx context.Context, req Request) (*Result, error) {
 
 // Exec is driver.Exec with compilation memoized through the cache:
 // concurrent Requests for the same (source, machine, options) block on a
-// single compilation. Execution itself is never cached — every Request
-// runs.
+// single compilation. With a ResultCache attached (SetResultCache),
+// whole Results of cacheable requests are memoized too: a repeat of an
+// already-executed fingerprint returns the stored Result (marked
+// Cached) without compiling or running anything. Without one — the
+// default — execution is never cached; every Request runs.
 func (c *Cache) Exec(ctx context.Context, req Request) (*Result, error) {
-	return exec(ctx, req, func(ctx context.Context) (*isa.Program, error) {
+	rc := c.results
+	cacheable := rc != nil && Cacheable(&req)
+	if cacheable && !req.NoCache {
+		if res, ok := rc.Get(req.Fingerprint()); ok {
+			return res, nil
+		}
+	}
+	res, err := exec(ctx, req, func(ctx context.Context) (*isa.Program, error) {
 		return c.Compile(ctx, req.Source, req.Kind, req.Options)
 	})
+	if err == nil && cacheable {
+		rc.Put(req.Fingerprint(), resultClassFrom(ctx), res)
+	}
+	return res, err
 }
 
 // exec is the shared Exec body, parameterized over how a missing

@@ -69,6 +69,12 @@ type Config struct {
 	// Now is the clock (default time.Now) — a test hook so breaker
 	// cooldown transitions are provable without sleeping.
 	Now func() time.Time
+	// OnQuarantine, when set, is called after Quarantine force-opens a
+	// (class, tier) breaker — brserve hooks it to invalidate the result
+	// cache's entries for the pair, so a quarantined tier cannot keep
+	// serving stale results from memory after its breaker stops it from
+	// executing. Called synchronously; keep it fast.
+	OnQuarantine func(class, tier string)
 }
 
 // guardMetrics holds the resolved metric handles (one atomic op per
@@ -435,6 +441,9 @@ func (s *Supervisor) Quarantine(class, tier, reason string) {
 	}
 	s.m.breakerOpenNow.Set(s.openBreakers())
 	s.record(IncidentBreakerOpen, class, tier, "quarantined: "+reason)
+	if s.cfg.OnQuarantine != nil {
+		s.cfg.OnQuarantine(class, tier)
+	}
 }
 
 // record appends one incident and counts it.

@@ -426,3 +426,65 @@ func TestSupervisorConcurrentChaos(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestShadowSkipsCachedResults: a memoized Result is not an execution,
+// so it must neither be sampled nor advance the per-class shadow
+// counter — cached traffic cannot dilute shadow coverage of the
+// engines that are actually running.
+func TestShadowSkipsCachedResults(t *testing.T) {
+	reg := obs.NewRegistry()
+	var calls atomic.Int64
+	exec := ExecFunc(func(ctx context.Context, class string, req driver.Request) (*driver.Result, error) {
+		// The first primary execution (and its shadow re-execution) are
+		// real; everything after answers as a cache hit would.
+		cached := calls.Add(1) > 2
+		return &driver.Result{Output: "same", Engine: tierName(req.Loop), Cached: cached}, nil
+	})
+	s := New(Config{Exec: exec, ShadowRate: 1, Metrics: reg})
+	defer s.Close()
+	ctx := context.Background()
+
+	if _, err := s.Exec(ctx, "sieve/branchreg", driver.Request{Loop: emu.LoopAuto}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "shadow of the real execution", func() bool { return counter(reg, "guard.shadow.ok") >= 1 })
+
+	for i := 0; i < 3; i++ {
+		out, err := s.Exec(ctx, "sieve/branchreg", driver.Request{Loop: emu.LoopAuto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Cached {
+			t.Fatalf("request %d: exec stub did not report a cached result: %+v", i, out)
+		}
+	}
+	if n := counter(reg, "guard.shadow.sampled"); n != 1 {
+		t.Errorf("guard.shadow.sampled = %d at rate 1 after 1 real + 3 cached executions, want 1", n)
+	}
+}
+
+// TestQuarantineNotifiesHook: OnQuarantine fires with the quarantined
+// (class, tier) coordinates — the contract brserve's result-cache
+// invalidation hangs off.
+func TestQuarantineNotifiesHook(t *testing.T) {
+	type quarantined struct{ class, tier string }
+	got := make(chan quarantined, 1)
+	s := New(Config{
+		Exec:    tierExec(nil),
+		Metrics: obs.NewRegistry(),
+		OnQuarantine: func(class, tier string) {
+			got <- quarantined{class, tier}
+		},
+	})
+	defer s.Close()
+
+	s.Quarantine("sieve/branchreg", emu.EngineAdaptive, "test quarantine")
+	select {
+	case q := <-got:
+		if q.class != "sieve/branchreg" || q.tier != emu.EngineAdaptive {
+			t.Errorf("hook got (%q, %q), want (sieve/branchreg, adaptive)", q.class, q.tier)
+		}
+	default:
+		t.Error("Quarantine did not invoke OnQuarantine")
+	}
+}

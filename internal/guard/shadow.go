@@ -112,6 +112,13 @@ func (s *Supervisor) maybeShadow(class string, req driver.Request, tier emu.Loop
 	if s.shadow == nil {
 		return false
 	}
+	// A memoized Result is not an execution: the engine named in it did
+	// not just run, so re-executing the alternate tier would "verify"
+	// the cache against the emulator, not engine against engine. Only
+	// real executions advance the per-class sample counter.
+	if res.Cached {
+		return false
+	}
 	alt, ok := altTier(tier)
 	if !ok {
 		return false

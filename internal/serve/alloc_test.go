@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"branchreg/internal/obs"
+)
+
+// Allocation budgets for the serve hot path. These are ceilings, not
+// aspirations: the cache-hit path answers without queueing, executing,
+// or re-encoding through fresh buffers, and the budget pins the pooled
+// pieces (body read buffer, JSON encoder, latency-histogram handles)
+// so an accidental per-request allocation — a fmt.Sprintf in emit, an
+// unpooled encoder — fails the gate instead of quietly taxing every
+// response. Run without -race (`make alloc-gate`); the detector's
+// instrumentation allocates on its own.
+
+// nullRW discards the response; a ResponseRecorder's growing body
+// buffer would bill its own allocations to the handler under test.
+type nullRW struct{ h http.Header }
+
+func (w *nullRW) Header() http.Header         { return w.h }
+func (w *nullRW) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullRW) WriteHeader(int)             {}
+
+// hitHarness warms one sieve entry and returns a closure that replays
+// the identical request as an admission-time cache hit.
+func hitHarness(t testing.TB) func() {
+	cfg := Config{Workers: 2, Metrics: obs.NewRegistry()}
+	s := New(cfg)
+	t.Cleanup(func() { stopServer(t, s) })
+
+	body := []byte(`{"workload":"sieve"}`)
+	warm := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(body))
+	warm.Header.Set("X-Request-Id", "alloc-warm")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, warm)
+	if rec.Code != 200 {
+		t.Fatalf("warmup: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", nil)
+	req.Header.Set("X-Request-Id", "alloc-hit")
+	w := &nullRW{h: http.Header{}}
+	return func() {
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		s.ServeHTTP(w, req)
+	}
+}
+
+func stopServer(t testing.TB, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+}
+
+func TestServeCacheHitAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	hit := hitHarness(t)
+	hit() // absorb one-time pool and histogram-set population
+
+	avg := testing.AllocsPerRun(200, hit)
+	// Measured ~41 allocs/hit: JSON decode of the request, the
+	// fingerprint, the request trace and its spans, the response
+	// struct, and the flight-record offer. The ceiling leaves room for
+	// stdlib drift but fails on anything structural: an unpooled
+	// encoder, a per-response fmt name, or a per-request rebuild of the
+	// workload table each cost 10+.
+	const budget = 60
+	if avg > budget {
+		t.Errorf("cache-hit path allocates %.1f objects per request, budget %d", avg, budget)
+	}
+}
+
+// BenchmarkServeCacheHit is the memoized hot path end to end (decode,
+// fingerprint, cache Get, respond) without HTTP transport overhead.
+// Run with -benchmem: the allocs/op figure is the one the alloc gate
+// budgets.
+func BenchmarkServeCacheHit(b *testing.B) {
+	hit := hitHarness(b)
+	hit()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hit()
+	}
+}

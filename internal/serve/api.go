@@ -48,6 +48,11 @@ type RunRequest struct {
 	// StepBudget bounds the run's instruction count. Zero asks for the
 	// server default; the effective budget is clamped to the tenant's cap.
 	StepBudget int64 `json:"step_budget,omitempty"`
+	// NoCache bypasses the deterministic result cache for this request:
+	// the response comes from a fresh execution even when an identical
+	// request's result is memoized. Escape hatch for benchmarking and
+	// debugging — it cannot change the bytes of a correct response.
+	NoCache bool `json:"no_cache,omitempty"`
 	// Options overrides individual compile options over the defaults.
 	Options *OptionsSpec `json:"options,omitempty"`
 }
@@ -111,10 +116,10 @@ type RunResponse struct {
 	// echoed from the caller) — the key into GET /v1/debug/requests/{id}.
 	RequestID string           `json:"request_id,omitempty"`
 	Output    string           `json:"output,omitempty"`
-	Status  int32            `json:"status"`
-	Machine string           `json:"machine,omitempty"`
-	Engine  string           `json:"engine,omitempty"`
-	Fusion  *emu.FusionStats `json:"fusion,omitempty"`
+	Status    int32            `json:"status"`
+	Machine   string           `json:"machine,omitempty"`
+	Engine    string           `json:"engine,omitempty"`
+	Fusion    *emu.FusionStats `json:"fusion,omitempty"`
 	// Refusion reports the adaptive tier's promotion state for this
 	// program: whether its hot region has been re-fused with a mined
 	// per-workload vocabulary, and the resulting block/vocabulary mix.
@@ -126,8 +131,12 @@ type RunResponse struct {
 	Error        string             `json:"error,omitempty"`
 	// Coalesced marks a response served from another identical in-flight
 	// request's execution.
-	Coalesced bool    `json:"coalesced,omitempty"`
-	Timing    *Timing `json:"timing,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Cached marks a response served from the deterministic result
+	// cache: byte-identical to the execution that populated it, but no
+	// emulation ran for this request.
+	Cached bool    `json:"cached,omitempty"`
+	Timing *Timing `json:"timing,omitempty"`
 	// FallbackFrom lists engine tiers that faulted before the tier in
 	// Engine served this response (the guard supervision layer's
 	// annotation): a fused-engine panic rescued by the fast loop reports
@@ -237,6 +246,7 @@ func (s *Server) buildRequest(rr *RunRequest) (driver.Request, string, error) {
 		budget = cap
 	}
 	req.MaxInstructions = budget
+	req.NoCache = rr.NoCache
 	return req, classProg + "/" + req.Kind.String(), nil
 }
 

@@ -67,16 +67,20 @@ type LoadFailure struct {
 
 // LoadResult aggregates one load run.
 type LoadResult struct {
-	Requests   int     `json:"requests"`
-	Errors     int     `json:"errors"`
-	Server5xx  int     `json:"server_5xx"`
-	Retries429 int     `json:"retries_429"`
-	Retries503 int     `json:"retries_503"`
-	Coalesced  int     `json:"coalesced"`
-	P50NS      int64   `json:"p50_ns"`
-	P99NS      int64   `json:"p99_ns"`
-	WallNS     int64   `json:"wall_ns"`
-	ReqPerSec  float64 `json:"req_s"`
+	Requests   int `json:"requests"`
+	Errors     int `json:"errors"`
+	Server5xx  int `json:"server_5xx"`
+	Retries429 int `json:"retries_429"`
+	Retries503 int `json:"retries_503"`
+	Coalesced  int `json:"coalesced"`
+	// Cached counts successful responses the server answered from its
+	// deterministic result cache (response `cached: true`) — the warm
+	// fraction of the run.
+	Cached    int     `json:"cached"`
+	P50NS     int64   `json:"p50_ns"`
+	P99NS     int64   `json:"p99_ns"`
+	WallNS    int64   `json:"wall_ns"`
+	ReqPerSec float64 `json:"req_s"`
 	// Engines counts the verified successful responses by the engine
 	// tier that served them ("adaptive", "fused", "fast", ...), so a
 	// load run records which tiers actually carried the traffic — a
@@ -149,6 +153,7 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 		retries    atomic.Int64
 		retries503 atomic.Int64
 		coalesced  atomic.Int64
+		cached     atomic.Int64
 		server5xx  atomic.Int64
 
 		mu        sync.Mutex
@@ -200,6 +205,9 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 				if resp.Coalesced {
 					coalesced.Add(1)
 				}
+				if resp.Cached {
+					cached.Add(1)
+				}
 				if spec.Verify != nil {
 					if verr := spec.Verify(c.workload, c.machine, resp); verr != nil {
 						errCount.Add(1)
@@ -233,6 +241,7 @@ func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
 		Retries429: int(retries.Load()),
 		Retries503: int(retries503.Load()),
 		Coalesced:  int(coalesced.Load()),
+		Cached:     int(cached.Load()),
 		WallNS:     time.Since(start).Nanoseconds(),
 		Engines:    engines,
 		Failures:   failures,

@@ -1,0 +1,10 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Allocation-budget tests skip under race: its
+// instrumentation allocates on paths that are allocation-free in a
+// normal build, so the budgets would measure the detector, not the
+// server.
+const raceEnabled = false

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -50,11 +51,22 @@ type Config struct {
 	// TrapStepBudget at the cap — HTTP 422.
 	MaxStepBudget int64
 	TenantBudgets map[string]int64
+	// MaxBodyBytes bounds one request body via http.MaxBytesReader;
+	// larger bodies answer 413 (default: 1 MiB plus JSON-framing
+	// headroom over MaxSourceBytes; negative disables the limit).
+	MaxBodyBytes int64
 	// JobTimeout bounds one execution's wall clock (default: 2 minutes).
 	// An expired job answers 408.
 	JobTimeout time.Duration
 	// Cache supplies the compile cache (default: a fresh private cache).
 	Cache *driver.Cache
+	// ResultCacheMB budgets the deterministic result cache in MiB
+	// (default 64; negative disables result caching). Admission checks
+	// the cache before queueing, so repeat requests are answered without
+	// touching a worker shard; see driver.ResultCache for what is
+	// cacheable. If the supplied Cache already carries a ResultCache,
+	// that one is used and the budget here is ignored.
+	ResultCacheMB int
 	// Metrics supplies the registry serve records into (default:
 	// obs.Default).
 	Metrics *obs.Registry
@@ -121,16 +133,16 @@ type serveMetrics struct {
 
 func newServeMetrics(r *obs.Registry) serveMetrics {
 	return serveMetrics{
-		requests:  r.Counter("serve.requests"),
-		ok:        r.Counter("serve.ok"),
-		coalesced: r.Counter("serve.coalesced"),
-		queueFull: r.Counter("serve.rejected.queue_full"),
-		draining:  r.Counter("serve.rejected.draining"),
-		badReq:    r.Counter("serve.rejected.bad_request"),
-		traps:     r.Counter("serve.traps"),
-		budget:    r.Counter("serve.traps.step_budget"),
-		timeouts:  r.Counter("serve.timeouts"),
-		internal:  r.Counter("serve.errors.internal"),
+		requests:   r.Counter("serve.requests"),
+		ok:         r.Counter("serve.ok"),
+		coalesced:  r.Counter("serve.coalesced"),
+		queueFull:  r.Counter("serve.rejected.queue_full"),
+		draining:   r.Counter("serve.rejected.draining"),
+		badReq:     r.Counter("serve.rejected.bad_request"),
+		traps:      r.Counter("serve.traps"),
+		budget:     r.Counter("serve.traps.step_budget"),
+		timeouts:   r.Counter("serve.timeouts"),
+		internal:   r.Counter("serve.errors.internal"),
 		inflight:   r.Gauge("serve.inflight"),
 		queueWait:  r.Histogram("serve.queue_wait_ns"),
 		totalNS:    r.Histogram("serve.total_ns"),
@@ -180,6 +192,7 @@ type shard struct {
 type Server struct {
 	cfg      Config
 	cache    *driver.Cache
+	results  *driver.ResultCache // nil when result caching is disabled
 	sup      *guard.Supervisor
 	chaos    *chaos
 	m        serveMetrics
@@ -189,6 +202,14 @@ type Server struct {
 	draining atomic.Bool
 	running  atomic.Int64
 	start    time.Time
+	// bodyLimit is the resolved MaxBodyBytes (<= 0: unlimited).
+	bodyLimit int64
+
+	// latSets caches the per-(status-class, engine) latency histogram
+	// handles emit records into, so the hot path pays one map read
+	// instead of four fmt.Sprintf name constructions per response.
+	latMu   sync.RWMutex
+	latSets map[latKey]*latencySet
 
 	// ewmaNS tracks recent job wall clocks (EWMA, α=1/8) so the 429
 	// Retry-After hint reflects how fast the queue actually drains.
@@ -232,6 +253,17 @@ func New(cfg Config) *Server {
 	if cfg.Cache == nil {
 		cfg.Cache = driver.NewCache()
 	}
+	if cfg.ResultCacheMB == 0 {
+		cfg.ResultCacheMB = 64
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+		if cfg.MaxSourceBytes > 0 && int64(cfg.MaxSourceBytes)+64*1024 > cfg.MaxBodyBytes {
+			// The body limit must never reject a source the source limit
+			// accepts; keep JSON-framing headroom above it.
+			cfg.MaxBodyBytes = int64(cfg.MaxSourceBytes) + 64*1024
+		}
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.Default
 	}
@@ -253,19 +285,29 @@ func New(cfg Config) *Server {
 	var seed [4]byte
 	_, _ = rand.Read(seed[:])
 	s := &Server{
-		cfg:      cfg,
-		cache:    cfg.Cache,
-		m:        newServeMetrics(cfg.Metrics),
-		start:    time.Now(),
-		flight:   obs.NewFlightRecorder(cfg.FlightCap, cfg.FlightSlow.Nanoseconds(), cfg.FlightSample),
-		logger:   cfg.Logger,
-		idPrefix: hex.EncodeToString(seed[:]),
+		cfg:       cfg,
+		cache:     cfg.Cache,
+		m:         newServeMetrics(cfg.Metrics),
+		start:     time.Now(),
+		bodyLimit: cfg.MaxBodyBytes,
+		flight:    obs.NewFlightRecorder(cfg.FlightCap, cfg.FlightSlow.Nanoseconds(), cfg.FlightSample),
+		logger:    cfg.Logger,
+		idPrefix:  hex.EncodeToString(seed[:]),
+		latSets:   map[latKey]*latencySet{},
 	}
-	// The execution stack, bottom-up: the compile cache's Exec, the chaos
-	// injector (tests and smoke runs only), and the guard supervisor the
-	// workers actually call.
-	exec := guard.ExecFunc(func(ctx context.Context, _ string, req driver.Request) (*driver.Result, error) {
-		return s.cache.Exec(ctx, req)
+	if cfg.ResultCacheMB > 0 {
+		if s.cache.ResultCache() == nil {
+			s.cache.SetResultCache(driver.NewResultCache(int64(cfg.ResultCacheMB) << 20))
+		}
+		s.results = s.cache.ResultCache()
+	}
+	// The execution stack, bottom-up: the compile cache's Exec (result
+	// cache included — the class annotation gives driver-level entries
+	// their invalidation coordinates), the chaos injector (tests and
+	// smoke runs only), and the guard supervisor the workers actually
+	// call.
+	exec := guard.ExecFunc(func(ctx context.Context, class string, req driver.Request) (*driver.Result, error) {
+		return s.cache.Exec(driver.ContextWithResultClass(ctx, class), req)
 	})
 	if cfg.Chaos != nil {
 		s.chaos = newChaos(*cfg.Chaos, cfg.Metrics)
@@ -283,6 +325,11 @@ func New(cfg Config) *Server {
 		ShadowTimeout: cfg.JobTimeout,
 		IncidentCap:   cfg.IncidentCap,
 		Metrics:       cfg.Metrics,
+		OnQuarantine: func(class, tier string) {
+			if s.results != nil {
+				s.results.Invalidate(class, tier)
+			}
+		},
 	})
 	s.workersPerShard = max(1, cfg.Workers/cfg.Shards)
 	perShard := max(1, cfg.QueueDepth/cfg.Shards)
@@ -411,6 +458,18 @@ func (s *Server) worker(sh *shard) {
 		j.out, j.err = s.execJob(j)
 		s.observeJobDuration(time.Since(runStart).Nanoseconds())
 		s.m.inflight.Set(s.running.Add(-1))
+		// Publish the result under the ADMISSION fingerprint. The guard
+		// rewrites req.Loop per tier attempt, so the driver-level cache
+		// keys tier fingerprints; only here does the admission key (the
+		// one repeat requests are looked up by) learn the result. Never
+		// cache supervision artifacts: a fallback or reroute is the
+		// survivable shape of a failing tier, and memoizing it would let
+		// hits mask an open breaker — the breaker must keep seeing real
+		// attempts until its class executes cleanly again.
+		if j.err == nil && s.results != nil && !j.req.NoCache &&
+			len(j.out.FallbackFrom) == 0 && !j.out.Rerouted && driver.Cacheable(&j.req) {
+			s.results.Put(j.fp, j.class, j.out.Result)
+		}
 		// Remove from the coalescing table before publishing: an
 		// identical request arriving after done closes must start a
 		// fresh execution, never read a completed slot.
@@ -515,12 +574,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	rc.rt = obs.NewReqTrace(rc.id)
 	rc.root = rc.rt.Begin("request", "serve", 0)
 	w.Header().Set("X-Request-Id", rc.id)
-	limit := int64(1 << 20)
-	if s.cfg.MaxSourceBytes > 0 {
-		limit = int64(s.cfg.MaxSourceBytes) + 64*1024 // headroom for JSON framing
-	}
 	var rr RunRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(&rr); err != nil {
+	if err := s.decodeBody(w, r, &rr); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.m.badReq.Inc()
+			s.emit(w, rc, 413, &RunResponse{Error: fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit)})
+			return
+		}
 		s.m.badReq.Inc()
 		s.emit(w, rc, 400, &RunResponse{Error: "bad request body: " + err.Error()})
 		return
@@ -542,6 +603,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fp := req.Fingerprint()
+
+	// Admission-time result-cache check: a hit is answered here, before
+	// the request ever touches a shard queue — no queueing, no worker,
+	// no 429 pressure. The span makes the shortcut visible in the
+	// flight recorder.
+	if s.results != nil && !req.NoCache && driver.Cacheable(&req) {
+		if res, ok := s.results.Get(fp); ok {
+			rc.rt.Begin("cache-hit", "serve", rc.root.ID()).End()
+			s.m.ok.Inc()
+			s.respondCached(w, &req, res, rc)
+			return
+		}
+	}
 	sh := s.shardFor(fp)
 
 	sh.mu.Lock()
@@ -598,6 +672,65 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, &req, j, rc)
 }
 
+// bodyBufPool recycles request-body read buffers across requests: the
+// hot path reads the whole (bounded) body into a pooled buffer and
+// unmarshals from it, so a request costs one buffer reuse instead of a
+// fresh decoder-owned allocation. json.Unmarshal copies what it keeps,
+// so the buffer is safe to recycle immediately after decoding.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// poolBufCap is the largest buffer the body and response pools retain;
+// oversized one-off buffers are dropped instead of pinned forever.
+const poolBufCap = 1 << 20
+
+// decodeBody reads the request body — bounded by MaxBodyBytes via
+// http.MaxBytesReader — into a pooled buffer and unmarshals it. An
+// over-limit body surfaces as *http.MaxBytesError for the 413 path.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, rr *RunRequest) error {
+	body := r.Body
+	if s.bodyLimit > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.bodyLimit)
+	}
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= poolBufCap {
+			bodyBufPool.Put(buf)
+		}
+	}()
+	if _, err := buf.ReadFrom(body); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf.Bytes(), rr)
+}
+
+// respondCached writes an admission-time result-cache hit. The Result
+// aliases the cache's entry (read-only); there is no job, so the only
+// timing is the total and the only annotation beyond a normal success
+// is Cached.
+func (s *Server) respondCached(w http.ResponseWriter, req *driver.Request, res *driver.Result, rc *reqCtx) {
+	resp := &RunResponse{
+		Machine: req.Kind.String(),
+		Cached:  true,
+		Output:  res.Output,
+		Status:  res.Status,
+		Engine:  res.Engine,
+		Timing:  &Timing{TotalNS: time.Since(rc.start).Nanoseconds()},
+	}
+	if res.Engine == emu.EngineFused || res.Engine == emu.EngineAdaptive {
+		f := res.Fusion
+		resp.Fusion = &f
+	}
+	if res.Engine == emu.EngineAdaptive {
+		rf := res.Refusion
+		resp.Refusion = &rf
+	}
+	resp.Instructions = res.Stats.Instructions
+	resp.Transfers = res.Stats.Transfers()
+	resp.DataRefs = res.Stats.DataRefs()
+	s.emit(w, rc, 200, resp)
+}
+
 // respond classifies one finished job onto the wire. Status mapping:
 // clean run and non-budget runtime traps are 200 (the service worked;
 // the trap is the program's outcome, reported as data), a step-budget
@@ -615,6 +748,10 @@ func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, rc 
 		resp.Output = res.Output
 		resp.Status = res.Status
 		resp.Engine = res.Engine
+		// A tier-level result-cache hit inside the executed job (the
+		// guard's per-tier fingerprint matched an earlier execution) is
+		// still a cached answer; say so.
+		resp.Cached = res.Cached
 		resp.FallbackFrom = j.out.FallbackFrom
 		resp.Rerouted = j.out.Rerouted
 		if res.Engine == emu.EngineFused || res.Engine == emu.EngineAdaptive {
@@ -666,6 +803,51 @@ func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, rc 
 	}
 }
 
+// latKey identifies one (status-class, engine) latency histogram set.
+// A struct key keeps the hot-path map lookup allocation-free (no name
+// concatenation per response).
+type latKey struct {
+	class  string
+	engine string
+}
+
+// latencySet holds the four phase histograms of one (class, engine)
+// pair, resolved once.
+type latencySet struct {
+	total   *obs.Histogram
+	queue   *obs.Histogram
+	compile *obs.Histogram
+	run     *obs.Histogram
+}
+
+// latencyFor returns the cached histogram handles for a (class,
+// engine) pair, constructing the dotted names only on the first
+// response of the pair. The cardinality is bounded: three status
+// classes times the engine tiers.
+func (s *Server) latencyFor(class, engine string) *latencySet {
+	key := latKey{class: class, engine: engine}
+	s.latMu.RLock()
+	ls := s.latSets[key]
+	s.latMu.RUnlock()
+	if ls != nil {
+		return ls
+	}
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	if ls = s.latSets[key]; ls != nil {
+		return ls
+	}
+	reg := s.cfg.Metrics
+	ls = &latencySet{
+		total:   reg.Histogram(fmt.Sprintf("serve.latency.total.%s.%s", class, engine)),
+		queue:   reg.Histogram(fmt.Sprintf("serve.latency.queue.%s.%s", class, engine)),
+		compile: reg.Histogram(fmt.Sprintf("serve.latency.compile.%s.%s", class, engine)),
+		run:     reg.Histogram(fmt.Sprintf("serve.latency.run.%s.%s", class, engine)),
+	}
+	s.latSets[key] = ls
+	return ls
+}
+
 // emit finalizes one response: stamp the request ID into the body, end
 // the root span, record the per-phase serve.latency histograms, offer
 // the finished request to the flight recorder, write the structured log
@@ -675,22 +857,21 @@ func (s *Server) respond(w http.ResponseWriter, req *driver.Request, j *job, rc 
 func (s *Server) emit(w http.ResponseWriter, rc *reqCtx, code int, resp *RunResponse) {
 	resp.RequestID = rc.id
 	totalNS := time.Since(rc.start).Nanoseconds()
-	class := statusClass(code)
 	engine := resp.Engine
 	if engine == "" {
 		engine = "none"
 	}
-	reg := s.cfg.Metrics
+	ls := s.latencyFor(statusClass(code), engine)
 	phases := map[string]int64{"total_ns": totalNS}
-	reg.Histogram(fmt.Sprintf("serve.latency.total.%s.%s", class, engine)).Observe(totalNS)
+	ls.total.Observe(totalNS)
 	if t := resp.Timing; t != nil {
 		s.m.totalNS.Observe(t.TotalNS)
 		phases["queue_ns"] = t.QueueNS
 		phases["compile_ns"] = t.CompileNS
 		phases["run_ns"] = t.RunNS
-		reg.Histogram(fmt.Sprintf("serve.latency.queue.%s.%s", class, engine)).Observe(t.QueueNS)
-		reg.Histogram(fmt.Sprintf("serve.latency.compile.%s.%s", class, engine)).Observe(t.CompileNS)
-		reg.Histogram(fmt.Sprintf("serve.latency.run.%s.%s", class, engine)).Observe(t.RunNS)
+		ls.queue.Observe(t.QueueNS)
+		ls.compile.Observe(t.CompileNS)
+		ls.run.Observe(t.RunNS)
 	}
 	rc.root.SetArg("status", strconv.Itoa(code))
 	if resp.Engine != "" {
@@ -873,7 +1054,10 @@ type MetricsReply struct {
 	UptimeMS      int64             `json:"uptime_ms"`
 	Version       string            `json:"version"`
 	Cache         driver.CacheStats `json:"cache"`
-	Metrics       obs.Snapshot      `json:"metrics"`
+	// ResultCache reports the deterministic result cache (nil when
+	// disabled): hit/miss/eviction traffic and byte occupancy.
+	ResultCache *driver.ResultCacheStats `json:"result_cache,omitempty"`
+	Metrics     obs.Snapshot             `json:"metrics"`
 }
 
 // handleMetrics serves the registry snapshot: JSON by default, the
@@ -893,24 +1077,63 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		snap.Counters["serve.cache.hits"] = cs.Hits
 		snap.Counters["serve.cache.misses"] = cs.Misses
+		if s.results != nil {
+			rs := s.results.Stats()
+			snap.Counters["driver.rescache.hits"] = rs.Hits
+			snap.Counters["driver.rescache.misses"] = rs.Misses
+			snap.Counters["driver.rescache.evictions"] = rs.Evictions
+			snap.Counters["driver.rescache.invalidated"] = rs.Invalidated
+			snap.Gauges["driver.rescache.bytes"] = rs.Bytes
+			snap.Gauges["driver.rescache.entries"] = rs.Entries
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		snap.WriteProm(w)
 		return
 	}
-	writeJSON(w, 200, &MetricsReply{
+	reply := &MetricsReply{
 		Started:       s.start.UTC().Format(time.RFC3339),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		UptimeMS:      time.Since(s.start).Milliseconds(),
 		Version:       serverVersion(),
 		Cache:         s.cache.Stats(),
 		Metrics:       s.cfg.Metrics.Snapshot(),
-	})
+	}
+	if s.results != nil {
+		rs := s.results.Stats()
+		reply.ResultCache = &rs
+	}
+	writeJSON(w, 200, reply)
 }
 
+// jsonEnc pairs a reusable buffer with an encoder bound to it, so a
+// response costs zero encoder/buffer allocations once the pool is warm.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonEncPool = sync.Pool{New: func() any {
+	e := &jsonEnc{}
+	e.enc = json.NewEncoder(&e.buf)
+	e.enc.SetEscapeHTML(false)
+	return e
+}}
+
+// writeJSON encodes v into a pooled buffer and writes it in one shot.
+// Encoding before WriteHeader also means an encoding failure (a
+// programming error in the reply types) can still answer 500 instead
+// of a half-written 200.
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	e := jsonEncPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		http.Error(w, "response encoding failed", 500)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_, _ = w.Write(e.buf.Bytes())
+	}
+	if e.buf.Cap() <= poolBufCap {
+		jsonEncPool.Put(e)
+	}
 }

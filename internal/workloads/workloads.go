@@ -6,7 +6,10 @@
 // deterministic synthetic input so runs are reproducible.
 package workloads
 
-import "strings"
+import (
+	"strings"
+	"sync"
+)
 
 // Workload is one benchmark program.
 type Workload struct {
@@ -20,6 +23,10 @@ type Workload struct {
 	// writes, used to pre-size the emulator's output buffer. Purely an
 	// allocation hint: a wrong value can never change results.
 	OutputHint int
+	// full is the memoized FullSource of a table-built workload, so the
+	// serving hot path does not re-concatenate the prelude per request.
+	// Empty for hand-constructed Workload values.
+	full string
 }
 
 // Prelude is the tiny runtime library linked into every workload.
@@ -49,8 +56,43 @@ int streq(char *a, char *b) {
 int slen(char *s) { int n = 0; for (; *s; s++) n++; return n; }
 `
 
-// All returns every workload in a stable order.
+// workloadTable is the memoized suite: the deterministic inputs are
+// generated (and the full sources concatenated) once per process, not
+// once per lookup — ByName sits on brserve's per-request path.
+type workloadTable struct {
+	list  []Workload
+	index map[string]int
+}
+
+var tableOnce = sync.OnceValue(func() *workloadTable {
+	t := &workloadTable{list: buildAll(), index: map[string]int{}}
+	for i := range t.list {
+		w := &t.list[i]
+		if w.NoPrelude {
+			w.full = w.Source
+		} else {
+			w.full = Prelude + w.Source
+		}
+		t.index[w.Name] = i
+	}
+	return t
+})
+
+func table() *workloadTable { return tableOnce() }
+
+// All returns every workload in a stable order. The slice is a fresh
+// copy (callers may reorder or overlay it); the workload strings are
+// shared, immutable, and built once.
 func All() []Workload {
+	t := table()
+	out := make([]Workload, len(t.list))
+	copy(out, t.list)
+	return out
+}
+
+// buildAll constructs the suite table; use All (or ByName), which
+// memoize it.
+func buildAll() []Workload {
 	return []Workload{
 		{Name: "cal", Class: "utility", Description: "calendar generator", Source: srcCal, Input: "", OutputHint: 32768},
 		{Name: "cb", Class: "utility", Description: "C program beautifier", Source: srcCb, Input: strings.Repeat(cbInput, 60), OutputHint: 8192},
@@ -76,16 +118,18 @@ func All() []Workload {
 
 // ByName returns the named workload.
 func ByName(name string) (Workload, bool) {
-	for _, w := range All() {
-		if w.Name == name {
-			return w, true
-		}
+	i, ok := table().index[name]
+	if !ok {
+		return Workload{}, false
 	}
-	return Workload{}, false
+	return table().list[i], true
 }
 
 // FullSource returns the complete MC source of a workload (prelude + body).
 func (w Workload) FullSource() string {
+	if w.full != "" {
+		return w.full
+	}
 	if w.NoPrelude {
 		return w.Source
 	}
